@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (writing
+the output under ``results/``) and asserts its headline claims.  Run
+with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment once under the benchmark timer, save and
+    return its result."""
+
+    def _run(runner, fast: bool = True, save_dir: str = "results"):
+        result = benchmark.pedantic(
+            runner, kwargs={"fast": fast}, iterations=1, rounds=1
+        )
+        result.save(save_dir)
+        return result
+
+    return _run

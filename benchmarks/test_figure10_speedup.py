@@ -1,0 +1,36 @@
+"""Bench: Figure 10 — DMT speedup across platforms and scales.
+
+Shape assertions mirror the paper's claims:
+- headline: up to ~1.9x at large scale;
+- DLRM speedup grows with scale (communication-bound regime);
+- DCN gains more at small scale on V100 than H100 (compute-bound);
+- at 2 hosts on modern GPUs DMT is roughly neutral (paper: 0.9).
+"""
+
+from repro.experiments.figure10 import run
+
+
+def test_figure10_speedups(regen):
+    result = regen(run)
+    dlrm, dcn = result.data["dlrm"], result.data["dcn"]
+
+    assert 1.6 <= result.data["max_speedup"] <= 2.6
+
+    # DLRM: large scale >> small scale, on every platform.
+    for gen in ("V100", "A100", "H100"):
+        big = dlrm[f"{gen}/128"]
+        small = dlrm[f"{gen}/16"]
+        assert big > small + 0.3, (gen, big, small)
+
+    # DLRM at 16 GPUs on H100 is roughly neutral (paper 0.9).
+    assert dlrm["H100/16"] < 1.25
+
+    # DLRM at >= 64 GPUs on every platform exceeds 1.5x.
+    for gen in ("V100", "A100", "H100"):
+        assert dlrm[f"{gen}/64"] > 1.5
+
+    # DCN: V100 gains at small scale exceed H100's (compute-bound win).
+    assert dcn["V100/16"] > dcn["H100/16"] - 0.15
+    # DCN always wins at 64+ GPUs.
+    for gen in ("V100", "A100", "H100"):
+        assert dcn[f"{gen}/64"] > 1.2

@@ -1,0 +1,12 @@
+"""Bench: Figure 11 — tower modules add gain on top of SPTT."""
+
+from repro.experiments.figure11 import run
+
+
+def test_figure11_tm_over_sptt(regen):
+    result = regen(run)
+    values = result.data
+    # TM is always a win over SPTT-only (paper: 1.2-1.4x).
+    assert all(v > 1.05 for v in values.values())
+    # And the win is bounded (it is an increment, not the whole story).
+    assert all(v < 1.8 for v in values.values())

@@ -1,0 +1,13 @@
+"""Bench: Figure 12 — higher compression ratio, higher speedup."""
+
+from repro.experiments.figure12 import run
+
+
+def test_figure12_compression_speedup(regen):
+    result = regen(run)
+    for gen in ("V100", "A100", "H100"):
+        curve = [result.data[f"{gen}/CR{cr}"] for cr in (2, 4, 8, 16)]
+        # Monotone increasing in CR.
+        assert all(b > a for a, b in zip(curve, curve[1:])), (gen, curve)
+        # Paper: up to ~2x at CR=16.
+        assert 1.3 < curve[-1] < 2.4

@@ -1,0 +1,18 @@
+"""Bench: Figure 13 — DMT improves every latency component."""
+
+import pytest
+
+from repro.experiments.figure13 import run
+
+
+def test_figure13_component_latency(regen):
+    result = regen(run)
+    d = result.data
+    # Anchored calibration points: within 15% of the paper's bars.
+    assert d["baseline_compute_ms"] == pytest.approx(29.4, rel=0.15)
+    assert d["baseline_emb_ms"] == pytest.approx(11.5, rel=0.15)
+    assert d["dmt_emb_ms"] == pytest.approx(2.5, rel=0.25)
+    # Both components improve; comm improves by a large factor
+    # (paper: 4.6x) and compute by a modest one (paper: 1.4x).
+    assert d["compute_gain"] > 1.0
+    assert 3.0 < d["comm_gain"] < 6.5

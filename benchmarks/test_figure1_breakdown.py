@@ -1,0 +1,17 @@
+"""Bench: Figure 1 — exposed latency breakdown, DCN on 64xH100.
+
+Shape to hold: compute dominates (~70%), exposed embedding
+communication is the second-largest bucket (~25-30%), dense sync is
+small (low single digits).
+"""
+
+from repro.experiments.figure1 import run
+
+
+def test_figure1_breakdown(regen):
+    result = regen(run)
+    pct = result.data["percentages"]
+    assert 55 <= pct["compute"] <= 82
+    assert 18 <= pct["exposed_emb_comm"] <= 40
+    assert pct["exposed_dense_sync"] < 6
+    assert pct["exposed_emb_comm"] > pct["exposed_dense_sync"]

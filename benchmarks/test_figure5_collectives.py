@@ -1,0 +1,21 @@
+"""Bench: Figure 5 — collective bus bandwidth vs scale."""
+
+import pytest
+
+from repro.comm.calibration import (
+    FIGURE5_ALLREDUCE_BUS_GBS,
+    FIGURE5_ALLTOALL_BUS_GBS,
+)
+from repro.experiments.figure5 import run
+
+
+def test_figure5_collective_scalability(regen):
+    result = regen(run)
+    ours = result.data
+    # The model regenerates the measured curves within 2%.
+    for world, paper in FIGURE5_ALLREDUCE_BUS_GBS.items():
+        assert ours["allreduce"][world] == pytest.approx(paper, rel=0.02)
+    for world, paper in FIGURE5_ALLTOALL_BUS_GBS.items():
+        assert ours["alltoall"][world] == pytest.approx(paper, rel=0.02)
+    # The qualitative cliff: AlltoAll collapses once it leaves the host.
+    assert ours["alltoall"][8] / ours["alltoall"][16] > 3.5

@@ -1,0 +1,11 @@
+"""Bench: Figure 6 — data parallelism wins the dense-part search."""
+
+from repro.experiments.figure6 import run
+
+
+def test_figure6_alpa_search(regen):
+    result = regen(run)
+    assert result.data["fastest_is_data_parallel"]
+    assert result.data["num_configs"] > 20  # a real search space
+    lats = result.data["latencies_ms"]
+    assert max(lats) / min(lats) > 3  # bad meshes are much slower

@@ -1,0 +1,14 @@
+"""Bench: Figure 9 — TP recovers block structure in the 2D embedding."""
+
+from repro.experiments.figure9 import run
+
+
+def test_figure9_tp_artifacts(regen):
+    result = regen(run)
+    # Learned partition must be much purer than chance (~0.27 for 4
+    # balanced towers over 4 planted blocks).
+    assert result.data["purity"] > 0.55
+    assert len(result.data["groups"]) == 4
+    # The rendering contains both artifacts.
+    assert "similarity matrix" in result.body
+    assert "2D feature embedding" in result.body

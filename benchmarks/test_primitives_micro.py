@@ -1,0 +1,119 @@
+"""Micro-benchmarks of the library's own hot primitives.
+
+Not a paper table — these track the simulator's performance so the
+experiment suite stays fast: functional collectives, the SPTT exchange,
+constrained K-Means, MDS, and a DLRM training step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import functional as F
+from repro.comm.process_group import global_group
+from repro.core.flat_pipeline import FlatEmbeddingExchange
+from repro.core.partition import FeaturePartition
+from repro.core.sptt import SPTTEmbeddingExchange
+from repro.hardware import Cluster
+from repro.models import DLRM, tiny_table_configs
+from repro.models.configs import tiny_dlrm_arch
+from repro.nn import BCEWithLogitsLoss
+from repro.partitioner import ConstrainedKMeans, mds_embed
+from repro.sim import SimCluster
+
+
+@pytest.fixture(scope="module")
+def cluster_16():
+    return Cluster(num_hosts=4, gpus_per_host=4, generation="A100")
+
+
+def test_bench_functional_alltoall(benchmark, cluster_16):
+    group = global_group(cluster_16)
+    rng = np.random.default_rng(0)
+    buffers = {
+        r: [rng.standard_normal(256) for _ in range(group.world_size)]
+        for r in group.ranks
+    }
+    benchmark(F.alltoall, group, buffers)
+
+
+def test_bench_sptt_exchange_forward(benchmark, cluster_16):
+    from repro.nn import EmbeddingBagCollection
+
+    F_feats = 16
+    ebc = EmbeddingBagCollection(
+        tiny_table_configs(F_feats, 64, 16), rng=np.random.default_rng(0)
+    )
+    partition = FeaturePartition.contiguous(F_feats, 4)
+    rng = np.random.default_rng(1)
+    ids = {
+        r: rng.integers(0, 64, size=(8, F_feats))
+        for r in range(cluster_16.world_size)
+    }
+
+    def run_once():
+        sim = SimCluster(cluster_16)
+        return SPTTEmbeddingExchange(sim, ebc, partition).forward(ids)
+
+    benchmark(run_once)
+
+
+def test_bench_flat_exchange_forward(benchmark, cluster_16):
+    from repro.nn import EmbeddingBagCollection
+
+    F_feats = 16
+    ebc = EmbeddingBagCollection(
+        tiny_table_configs(F_feats, 64, 16), rng=np.random.default_rng(0)
+    )
+    rng = np.random.default_rng(1)
+    ids = {
+        r: rng.integers(0, 64, size=(8, F_feats))
+        for r in range(cluster_16.world_size)
+    }
+
+    def run_once():
+        sim = SimCluster(cluster_16)
+        return FlatEmbeddingExchange(sim, ebc).forward(ids)
+
+    benchmark(run_once)
+
+
+def test_bench_constrained_kmeans(benchmark):
+    rng = np.random.default_rng(2)
+    points = rng.standard_normal((128, 2))
+
+    def cluster_points():
+        return ConstrainedKMeans(n_clusters=8).fit_predict(
+            points, rng=np.random.default_rng(0)
+        )
+
+    benchmark(cluster_points)
+
+
+def test_bench_mds_embed(benchmark):
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((26, 3))
+    d = np.linalg.norm(x[:, None] - x[None, :], axis=-1)
+    benchmark(
+        mds_embed, d, dim=2, iterations=100, rng=np.random.default_rng(0)
+    )
+
+
+def test_bench_dlrm_train_step(benchmark):
+    model = DLRM(
+        13,
+        tiny_table_configs(26, 64, 16),
+        tiny_dlrm_arch(16),
+        rng=np.random.default_rng(0),
+    )
+    loss = BCEWithLogitsLoss()
+    rng = np.random.default_rng(1)
+    dense = rng.standard_normal((256, 13))
+    ids = rng.integers(0, 64, size=(256, 26))
+    labels = rng.integers(0, 2, size=256).astype(float)
+
+    def step():
+        model.zero_grad()
+        loss(model(dense, ids), labels)
+        model.backward(loss.backward())
+
+    benchmark(step)

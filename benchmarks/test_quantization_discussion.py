@@ -1,0 +1,12 @@
+"""Bench: §6 — quantized DMT still beats quantized baseline."""
+
+from repro.experiments.quantization import run
+
+
+def test_quantization_discussion(regen):
+    result = regen(run)
+    # Paper: up to 1.2x on 1024 H100s.
+    assert 1.05 < result.data["dmt_speedup_quantized"] < 1.6
+    sweep = result.data["precision_sweep_ms"]
+    # Narrower wire precision monotonically reduces iteration time.
+    assert sweep["fp8"] < sweep["fp16"] < sweep["fp32"]

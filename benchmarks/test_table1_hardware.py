@@ -1,0 +1,8 @@
+"""Bench: Table 1 — the compute-vs-network generational gap."""
+
+from repro.experiments.table1 import run
+
+
+def test_table1_hardware_gap(regen):
+    result = regen(run)
+    assert result.data["compute_growth"] / result.data["network_growth"] > 10

@@ -1,0 +1,16 @@
+"""Bench: Table 2 — the Strong Baseline recipe."""
+
+from repro.experiments.table2 import run
+
+
+def test_table2_strong_baseline(regen):
+    result = regen(run)
+    for model in ("DLRM", "DCN"):
+        d = result.data[model]
+        # Strong recipe at least matches the default recipe's AUC.
+        assert d["strong_auc"] >= d["weak_auc"] - 0.003
+        # Large batches shrink the (modeled) epoch time.  The paper
+        # reports 13x (6.5h -> 29min); our iteration model has no
+        # small-batch inefficiency floor, so the modeled gap is
+        # smaller — assert the direction and a conservative factor.
+        assert d["strong_epoch_min"] < d["weak_epoch_min"] / 1.5

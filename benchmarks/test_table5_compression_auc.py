@@ -1,0 +1,15 @@
+"""Bench: Table 5 — AUC decays gradually with compression ratio."""
+
+from repro.experiments.table5 import run
+
+
+def test_table5_compression_auc(regen):
+    result = regen(run)
+    aucs = {cr: result.data[cr]["auc"] for cr in (2, 4, 8, 16)}
+    # Mild compression stays near the top; extreme compression costs
+    # measurably more (the paper's 'expected gradual degradation').
+    assert aucs[2] >= aucs[16]
+    assert aucs[2] - aucs[16] < 0.08  # and the model still works at CR=16
+    # The two extremes bracket the middle settings.
+    assert aucs[2] >= min(aucs[4], aucs[8]) - 0.01
+    assert aucs[16] <= max(aucs[4], aucs[8]) + 0.01

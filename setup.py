@@ -1,0 +1,10 @@
+"""Legacy build shim.
+
+The offline environment has setuptools but not `wheel`, so PEP 517
+editable builds fail; this shim lets `pip install -e .` take the
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

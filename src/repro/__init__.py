@@ -1,0 +1,32 @@
+"""repro — a from-scratch reproduction of "Disaggregated Multi-Tower:
+Topology-aware Modeling Technique for Efficient Large Scale
+Recommendation" (Luo et al., MLSys 2024).
+
+Subpackages
+-----------
+- ``repro.hardware`` — GPU generations (Table 1) and cluster topology.
+- ``repro.comm`` — collective cost models (Figure 5 calibrated) and
+  functional (real data movement) collectives.
+- ``repro.sim`` — simulated multi-GPU execution with priced timelines.
+- ``repro.nn`` — numpy module/backprop substrate (PyTorch stand-in).
+- ``repro.models`` — DLRM, DCN, DMT variants, tower modules, XLRM.
+- ``repro.core`` — SPTT, the flat baseline exchange, distributed
+  trainers (the paper's primary contribution).
+- ``repro.partitioner`` — the learned Tower Partitioner (TP).
+- ``repro.planner`` — embedding sharding planner and NeuroShard-style
+  baseline.
+- ``repro.perf`` — iteration latency model, Alpa-style parallelism
+  search, quantization analysis (evaluation engine).
+- ``repro.data`` — synthetic Criteo-like datasets with planted feature
+  block structure.
+- ``repro.training`` — training loops, AUC/NE metrics, significance
+  tests.
+- ``repro.experiments`` — one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.hardware import Cluster, GPUGeneration
+from repro.core.partition import FeaturePartition
+
+__all__ = ["Cluster", "GPUGeneration", "FeaturePartition", "__version__"]

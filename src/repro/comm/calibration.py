@@ -1,0 +1,250 @@
+"""Calibration data anchoring the collective cost model to Figure 5.
+
+The paper measures NCCL (v2.18.3) bus bandwidth on an A100 cluster with
+8 GPUs/host at DLRM-typical buffer sizes: AllReduce at 64 MB (dense
+gradient size) and AlltoAll at 256 MB (embedding exchange at local
+batch 16K, 26 features, dim 128, fp32 -> 218 MB, rounded up).  We
+transcribe those curves verbatim, then invert them into *NIC efficiency
+factors* — the fraction of per-GPU NIC line rate a collective actually
+achieves as a function of how many hosts it spans.
+
+Derivation (worked in comments below, reproduced by the unit tests):
+
+- NCCL bus bandwidth conventions, per-rank buffer ``S`` and world ``W``:
+  ``busbw_allreduce = 2*S*(W-1)/W / t`` and
+  ``busbw_alltoall  =   S*(W-1)/W / t``.
+- AlltoAll: cross-host bytes per GPU are ``S*(W-L)/W``; solving
+  ``t = cross_bytes / (nic_rate * eff)`` for ``eff`` at each measured
+  point yields :data:`ALLTOALL_NIC_EFFICIENCY`.  The curve is keyed by
+  **cross-host flows per NIC** (``W - L``, i.e. how many remote peers
+  each rank streams to), not by world size: that is the quantity that
+  transfers to SPTT's peer AlltoAlls, where a world of ``T`` ranks
+  spread over ``T`` hosts gives each NIC only ``T - 1`` incast flows
+  and therefore markedly better efficiency than the global collective
+  spanning the same hosts — the §3.1.2 benefit.
+- AllReduce: NCCL rings use one NIC per GPU (``L`` channels per host),
+  so the cross-host bottleneck moves ``2*S*(W-1)/W`` bytes through
+  ``L`` NICs; solving for ``eff`` yields
+  :data:`ALLREDUCE_NIC_EFFICIENCY`.
+- Single-host (pure NVLink) points give the NVLink efficiencies.
+
+The efficiency curves — not the raw bandwidth numbers — are what the
+cost model consumes, because they generalize: they transfer across
+buffer sizes, sub-world collectives (SPTT's peer AlltoAlls), and GPU
+generations (the NIC rate scales from :class:`~repro.hardware.GPUSpec`,
+the protocol-efficiency shape is assumed generation-invariant; see
+EXPERIMENTS.md "calibration" section).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+#: Figure 5 (left): AllReduce @ 64 MB on A100, 8 GPUs/host.
+#: Mapping world size -> measured bus bandwidth in GB/s.
+FIGURE5_ALLREDUCE_BUS_GBS: Dict[int, float] = {
+    8: 163.0,
+    16: 134.0,
+    32: 111.0,
+    64: 91.0,
+    128: 81.0,
+    256: 74.0,
+    512: 65.0,
+}
+
+#: Figure 5 (right): AlltoAll @ 256 MB on A100, 8 GPUs/host.
+FIGURE5_ALLTOALL_BUS_GBS: Dict[int, float] = {
+    8: 155.0,
+    16: 38.0,
+    32: 24.0,
+    64: 16.0,
+    128: 16.0,
+    256: 15.0,
+    512: 13.0,
+}
+
+#: Buffer sizes used for the Figure 5 sweeps (bytes).
+FIGURE5_ALLREDUCE_BYTES = 64 * 1024 * 1024
+FIGURE5_ALLTOALL_BYTES = 256 * 1024 * 1024
+
+#: The measurement cluster shape for Figure 5.
+FIGURE5_GPUS_PER_HOST = 8
+
+#: A100 per-GPU NIC line rate (200 Gb/s) and NVLink rate used in the
+#: inversion, in bytes/s.
+_A100_NIC = 200.0e9 / 8.0
+_A100_NVLINK = 300.0e9
+
+#: Launch-latency constants shared with the cost model.  The inversion
+#: subtracts this from measured times so that the forward model (which
+#: adds it back) round-trips the Figure 5 numbers exactly.
+BASE_LATENCY_S = 20e-6
+HOP_LATENCY_S = 1.5e-6
+
+
+def launch_latency(world: int) -> float:
+    """Software launch latency of one collective in a world of ``world``."""
+    return BASE_LATENCY_S + HOP_LATENCY_S * math.log2(max(world, 2))
+
+
+def _alltoall_time_from_bus(world: int, bus_gbs: float, size: int) -> float:
+    """Invert NCCL's bus-bandwidth convention for AlltoAll."""
+    return size * (world - 1) / world / (bus_gbs * 1e9)
+
+
+def _allreduce_time_from_bus(world: int, bus_gbs: float, size: int) -> float:
+    """Invert NCCL's bus-bandwidth convention for AllReduce."""
+    return 2.0 * size * (world - 1) / world / (bus_gbs * 1e9)
+
+
+def _invert_alltoall_efficiency() -> Dict[int, float]:
+    """Solve for NIC efficiency, keyed by cross-host flows per NIC."""
+    out: Dict[int, float] = {}
+    L = FIGURE5_GPUS_PER_HOST
+    for world, bus in FIGURE5_ALLTOALL_BUS_GBS.items():
+        if world // L <= 1:
+            continue
+        t = _alltoall_time_from_bus(world, bus, FIGURE5_ALLTOALL_BYTES)
+        t_bw = t - launch_latency(world)
+        cross_bytes = FIGURE5_ALLTOALL_BYTES * (world - L) / world
+        out[world - L] = cross_bytes / (_A100_NIC * t_bw)
+    return out
+
+
+def _invert_allreduce_efficiency() -> Dict[int, float]:
+    """Solve for NIC efficiency of L-channel ring AllReduce, keyed by
+    ring length (world size) — ring degradation is straggler-driven."""
+    out: Dict[int, float] = {}
+    L = FIGURE5_GPUS_PER_HOST
+    for world, bus in FIGURE5_ALLREDUCE_BUS_GBS.items():
+        if world // L <= 1:
+            continue
+        t = _allreduce_time_from_bus(world, bus, FIGURE5_ALLREDUCE_BYTES)
+        t_bw = t - launch_latency(world)
+        ring_bytes = 2.0 * FIGURE5_ALLREDUCE_BYTES * (world - 1) / world
+        out[world] = ring_bytes / (L * _A100_NIC * t_bw)
+    return out
+
+
+#: NIC efficiency for AlltoAll, keyed by cross-host flows per NIC
+#: (W - ranks_per_host).  Derived from Figure 5: ~0.81 at 8 flows
+#: decaying to ~0.51 at 504 flows (incast/straggler/small-message).
+ALLTOALL_NIC_EFFICIENCY: Dict[int, float] = _invert_alltoall_efficiency()
+
+#: NIC efficiency for ring AllReduce, keyed by ring length (world).
+ALLREDUCE_NIC_EFFICIENCY: Dict[int, float] = _invert_allreduce_efficiency()
+
+#: NVLink efficiencies from the single-host (world=8) Figure 5 points:
+#: achieved bus bandwidth / NVLink line rate.
+def _nvlink_efficiency(kind: str) -> float:
+    world = FIGURE5_GPUS_PER_HOST
+    if kind == "alltoall":
+        t = _alltoall_time_from_bus(
+            world, FIGURE5_ALLTOALL_BUS_GBS[world], FIGURE5_ALLTOALL_BYTES
+        )
+        bw_bytes = FIGURE5_ALLTOALL_BYTES * (world - 1) / world
+    else:
+        t = _allreduce_time_from_bus(
+            world, FIGURE5_ALLREDUCE_BUS_GBS[world], FIGURE5_ALLREDUCE_BYTES
+        )
+        bw_bytes = 2.0 * FIGURE5_ALLREDUCE_BYTES * (world - 1) / world
+    return bw_bytes / (_A100_NVLINK * (t - launch_latency(world)))
+
+
+NVLINK_ALLTOALL_EFFICIENCY = _nvlink_efficiency("alltoall")
+NVLINK_ALLREDUCE_EFFICIENCY = _nvlink_efficiency("allreduce")
+
+
+@dataclass
+class CongestionCurve:
+    """Piecewise-log-linear efficiency curve ``hosts -> efficiency``.
+
+    Interpolates in ``log2(hosts)`` between calibration points and
+    extrapolates beyond the last point with the final segment's slope,
+    clamped to ``[floor, 1.0]``.  Monotonicity is *not* forced: the
+    paper's own measurements are slightly non-monotone (AlltoAll at 64
+    vs 128 GPUs) and we preserve that behaviour inside the measured
+    range.
+
+    >>> curve = CongestionCurve.from_table({2: 0.8, 8: 0.6})
+    >>> round(curve(2), 3), round(curve(8), 3)
+    (0.8, 0.6)
+    >>> 0.6 < curve(4) < 0.8
+    True
+    """
+
+    log_hosts: np.ndarray
+    efficiency: np.ndarray
+    floor: float = 0.15
+
+    @classmethod
+    def from_table(
+        cls, table: Dict[int, float], floor: float = 0.15
+    ) -> "CongestionCurve":
+        if not table:
+            raise ValueError("calibration table must be non-empty")
+        hosts = np.array(sorted(table), dtype=float)
+        eff = np.array([table[int(h)] for h in hosts], dtype=float)
+        if np.any(hosts < 1):
+            raise ValueError("host counts must be >= 1")
+        if np.any(eff <= 0) or np.any(eff > 1.5):
+            raise ValueError("efficiencies must be in (0, 1.5]")
+        return cls(log_hosts=np.log2(hosts), efficiency=eff, floor=floor)
+
+    def __call__(self, hosts: float) -> float:
+        if hosts < 1:
+            raise ValueError(f"hosts must be >= 1, got {hosts}")
+        x = math.log2(max(hosts, 1.0))
+        lo, hi = self.log_hosts[0], self.log_hosts[-1]
+        if x <= lo:
+            return float(np.clip(self.efficiency[0], self.floor, 1.0))
+        if x >= hi:
+            if len(self.log_hosts) >= 2:
+                slope = (self.efficiency[-1] - self.efficiency[-2]) / (
+                    self.log_hosts[-1] - self.log_hosts[-2]
+                )
+            else:
+                slope = 0.0
+            val = self.efficiency[-1] + slope * (x - hi)
+            return float(np.clip(val, self.floor, 1.0))
+        val = np.interp(x, self.log_hosts, self.efficiency)
+        return float(np.clip(val, self.floor, 1.0))
+
+
+@dataclass
+class CollectiveCalibration:
+    """Bundle of all calibrated constants used by the cost model.
+
+    Attributes
+    ----------
+    alltoall_nic:
+        Cross-host NIC efficiency curve for AlltoAll-shaped traffic.
+    allreduce_nic:
+        Cross-host NIC efficiency curve for ring AllReduce traffic.
+    nvlink_alltoall / nvlink_allreduce:
+        Intra-host efficiencies (fractions of NVLink line rate).
+    base_latency_s:
+        Fixed software launch overhead per collective.
+    hop_latency_s:
+        Additional latency per ``log2(world)`` step (tree/ring depth).
+    """
+
+    alltoall_nic: CongestionCurve = field(
+        default_factory=lambda: CongestionCurve.from_table(ALLTOALL_NIC_EFFICIENCY)
+    )
+    allreduce_nic: CongestionCurve = field(
+        default_factory=lambda: CongestionCurve.from_table(ALLREDUCE_NIC_EFFICIENCY)
+    )
+    nvlink_alltoall: float = NVLINK_ALLTOALL_EFFICIENCY
+    nvlink_allreduce: float = NVLINK_ALLREDUCE_EFFICIENCY
+    base_latency_s: float = BASE_LATENCY_S
+    hop_latency_s: float = HOP_LATENCY_S
+
+
+def default_calibration() -> CollectiveCalibration:
+    """The calibration used by every experiment in this repository."""
+    return CollectiveCalibration()

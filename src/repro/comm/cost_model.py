@@ -1,0 +1,246 @@
+"""Analytic latency model for collectives on hierarchical clusters.
+
+The model follows the standard alpha-beta decomposition with one twist
+that carries the paper's entire systems argument: the *beta* (bandwidth)
+term pays a **congestion efficiency** that degrades with the number of
+hosts the collective spans, calibrated from the paper's own NCCL
+measurements (Figure 5, see :mod:`repro.comm.calibration`).
+
+This is why SPTT wins: a peer AlltoAll in a world of ``T = G/L`` ranks
+spans the same hosts but runs at the efficiency of a ``T``-way
+collective instead of a ``G``-way one, and the intra-host leg moves to
+NVLink, whose line rate is an order of magnitude higher than the NIC's
+(Table 1).
+
+All methods return a :class:`CollectiveTiming` carrying the full term
+breakdown, so experiment code can attribute time to NVLink vs NIC vs
+launch latency without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.comm.calibration import CollectiveCalibration, default_calibration
+from repro.comm.process_group import ProcessGroup
+
+
+class Bottleneck(enum.Enum):
+    """Which resource bound a collective's bandwidth term."""
+
+    NONE = "none"  # degenerate (world size 1)
+    NVLINK = "nvlink"
+    NIC = "nic"
+
+
+@dataclass(frozen=True)
+class CollectiveTiming:
+    """Latency breakdown of one collective invocation.
+
+    ``seconds`` is the modeled wall-clock; the other fields are the
+    competing terms (the bandwidth term is their max, launch latency is
+    additive).
+    """
+
+    seconds: float
+    nvlink_seconds: float
+    nic_seconds: float
+    latency_seconds: float
+    bottleneck: Bottleneck
+    bytes_per_rank: int
+    world_size: int
+
+    def bus_bandwidth(self, kind: str) -> float:
+        """Achieved NCCL-convention bus bandwidth in bytes/s.
+
+        ``kind`` is ``"alltoall"`` (factor ``(W-1)/W``) or
+        ``"allreduce"`` (factor ``2(W-1)/W``); ReduceScatter/AllGather
+        use the AlltoAll factor.
+        """
+        if self.world_size <= 1 or self.seconds <= 0:
+            return 0.0
+        w = self.world_size
+        factor = {"alltoall": 1.0, "allreduce": 2.0, "reducescatter": 1.0, "allgather": 1.0}[kind]
+        return factor * self.bytes_per_rank * (w - 1) / w / self.seconds
+
+
+class CollectiveCostModel:
+    """Prices AlltoAll / AllReduce / ReduceScatter / AllGather / p2p.
+
+    Parameters
+    ----------
+    calibration:
+        Efficiency curves and latency constants; defaults to the
+        Figure 5-derived values.
+
+    Examples
+    --------
+    >>> from repro.hardware import Cluster
+    >>> from repro.comm.process_group import global_group
+    >>> cm = CollectiveCostModel()
+    >>> c = Cluster(num_hosts=2, gpus_per_host=8, generation="A100")
+    >>> t = cm.alltoall(global_group(c), 256 * 2**20)
+    >>> round(t.bus_bandwidth("alltoall") / 1e9)  # Figure 5: 38 GB/s
+    38
+    """
+
+    def __init__(self, calibration: Optional[CollectiveCalibration] = None):
+        self.calibration = calibration or default_calibration()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _latency(self, world: int) -> float:
+        cal = self.calibration
+        return cal.base_latency_s + cal.hop_latency_s * math.log2(max(world, 2))
+
+    def _finish(
+        self,
+        t_nv: float,
+        t_nic: float,
+        lat: float,
+        size: int,
+        world: int,
+    ) -> CollectiveTiming:
+        if t_nic > t_nv:
+            bottleneck = Bottleneck.NIC
+        elif t_nv > 0:
+            bottleneck = Bottleneck.NVLINK
+        else:
+            bottleneck = Bottleneck.NONE
+        return CollectiveTiming(
+            seconds=lat + max(t_nv, t_nic),
+            nvlink_seconds=t_nv,
+            nic_seconds=t_nic,
+            latency_seconds=lat,
+            bottleneck=bottleneck,
+            bytes_per_rank=size,
+            world_size=world,
+        )
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def alltoall(self, group: ProcessGroup, bytes_per_rank: int) -> CollectiveTiming:
+        """Uniform AlltoAll: each rank holds ``bytes_per_rank`` and sends
+        an equal ``1/W`` slice to every member (keeping its own).
+
+        The NVLink term carries the intra-host slices, the NIC term the
+        cross-host slices; they proceed concurrently (NCCL schedules
+        P2P channels independently), so the bandwidth term is their max.
+        """
+        self._check_size(bytes_per_rank)
+        W = group.world_size
+        lat = self._latency(W)
+        if W == 1 or bytes_per_rank == 0:
+            return self._finish(0.0, 0.0, lat, bytes_per_rank, W)
+        spec = group.cluster.spec
+        m = group.ranks_per_host
+        H = group.hosts_spanned
+        intra_bytes = bytes_per_rank * (m - 1) / W
+        cross_bytes = bytes_per_rank * (W - m) / W
+        t_nv = intra_bytes / (
+            spec.scale_up_bytes_per_s * self.calibration.nvlink_alltoall
+        )
+        t_nic = 0.0
+        if H > 1:
+            # Congestion is keyed by cross-host flows per NIC: the
+            # number of remote peers each rank streams to.  This is
+            # what makes SPTT's peer AlltoAll (W - m = T - 1 flows)
+            # faster than a global AlltoAll spanning the same hosts.
+            eff = self.calibration.alltoall_nic(W - m)
+            t_nic = cross_bytes / (spec.scale_out_bytes_per_s * eff)
+        return self._finish(t_nv, t_nic, lat, bytes_per_rank, W)
+
+    def allreduce(self, group: ProcessGroup, bytes_per_rank: int) -> CollectiveTiming:
+        """Ring AllReduce moving ``2*S*(W-1)/W`` bytes per rank.
+
+        Multi-host rings are split into ``m`` channels (one NIC per
+        participating GPU on each host), matching NCCL's channel
+        construction on the paper's HGX-style hosts.
+        """
+        self._check_size(bytes_per_rank)
+        W = group.world_size
+        lat = self._latency(W)
+        if W == 1 or bytes_per_rank == 0:
+            return self._finish(0.0, 0.0, lat, bytes_per_rank, W)
+        spec = group.cluster.spec
+        m = group.ranks_per_host
+        H = group.hosts_spanned
+        ring_bytes = 2.0 * bytes_per_rank * (W - 1) / W
+        t_nv = ring_bytes / (
+            spec.scale_up_bytes_per_s * self.calibration.nvlink_allreduce
+        )
+        t_nic = 0.0
+        if H > 1:
+            eff = self.calibration.allreduce_nic(W)
+            t_nic = ring_bytes / (m * spec.scale_out_bytes_per_s * eff)
+        return self._finish(t_nv, t_nic, lat, bytes_per_rank, W)
+
+    def reducescatter(
+        self, group: ProcessGroup, bytes_per_rank: int
+    ) -> CollectiveTiming:
+        """ReduceScatter: half an AllReduce ring (``S*(W-1)/W`` bytes)."""
+        return self._half_ring(group, bytes_per_rank)
+
+    def allgather(self, group: ProcessGroup, bytes_per_rank: int) -> CollectiveTiming:
+        """AllGather: half an AllReduce ring, mirrored direction.
+
+        ``bytes_per_rank`` is the size of the *full gathered* buffer on
+        each rank (NCCL convention for bus-bandwidth accounting).
+        """
+        return self._half_ring(group, bytes_per_rank)
+
+    def _half_ring(self, group: ProcessGroup, bytes_per_rank: int) -> CollectiveTiming:
+        self._check_size(bytes_per_rank)
+        W = group.world_size
+        lat = self._latency(W)
+        if W == 1 or bytes_per_rank == 0:
+            return self._finish(0.0, 0.0, lat, bytes_per_rank, W)
+        spec = group.cluster.spec
+        m = group.ranks_per_host
+        H = group.hosts_spanned
+        ring_bytes = bytes_per_rank * (W - 1) / W
+        t_nv = ring_bytes / (
+            spec.scale_up_bytes_per_s * self.calibration.nvlink_allreduce
+        )
+        t_nic = 0.0
+        if H > 1:
+            eff = self.calibration.allreduce_nic(W)
+            t_nic = ring_bytes / (m * spec.scale_out_bytes_per_s * eff)
+        return self._finish(t_nv, t_nic, lat, bytes_per_rank, W)
+
+    def point_to_point(
+        self, group: ProcessGroup, src: int, dst: int, nbytes: int
+    ) -> CollectiveTiming:
+        """Single message between two members of a group."""
+        self._check_size(nbytes)
+        cluster = group.cluster
+        lat = self.calibration.base_latency_s
+        if src == dst:
+            return self._finish(0.0, 0.0, lat, nbytes, 2)
+        if cluster.same_host(src, dst):
+            t_nv = nbytes / (
+                cluster.spec.scale_up_bytes_per_s * self.calibration.nvlink_alltoall
+            )
+            return self._finish(t_nv, 0.0, lat, nbytes, 2)
+        t_nic = nbytes / (
+            cluster.spec.scale_out_bytes_per_s * self.calibration.alltoall_nic(2)
+        )
+        return self._finish(0.0, t_nic, lat, nbytes, 2)
+
+    def device_shuffle(self, group: ProcessGroup, nbytes: int) -> float:
+        """On-device data-movement cost (SPTT peer permute / step e).
+
+        A shuffle reads and writes every byte once through HBM.
+        """
+        self._check_size(nbytes)
+        return 2.0 * nbytes / group.cluster.spec.hbm_bytes_per_s
+
+    @staticmethod
+    def _check_size(nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {nbytes}")

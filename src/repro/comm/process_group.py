@@ -1,0 +1,131 @@
+"""Process groups: the rank sets collectives run over.
+
+Three group families matter in this paper:
+
+- the **global group** (all ``G`` ranks) — the classic paradigm's
+  AlltoAll/AllReduce world;
+- **intra-host groups** (``L`` ranks each) — SPTT step (d)'s NVLink
+  collectives and tower-module gradient synchronization;
+- **peer groups** (``T = G//L`` ranks, one per host, same local index)
+  — SPTT step (f)'s concurrent peer AlltoAlls.
+
+A :class:`ProcessGroup` is topology-aware: it knows which of its edges
+cross hosts, which is exactly what the cost model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.hardware.topology import Cluster
+
+
+@dataclass(frozen=True)
+class ProcessGroup:
+    """An ordered set of global ranks participating in collectives.
+
+    The order defines each member's *group rank* (``group_rank(r)``),
+    which functional collectives use for bucket indexing.
+    """
+
+    cluster: Cluster
+    ranks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.ranks) == 0:
+            raise ValueError("process group must contain at least one rank")
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError(f"duplicate ranks in process group: {self.ranks}")
+        for r in self.ranks:
+            self.cluster._check_rank(r)
+
+    @property
+    def world_size(self) -> int:
+        return len(self.ranks)
+
+    def __len__(self) -> int:
+        return self.world_size
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self.ranks
+
+    def group_rank(self, global_rank: int) -> int:
+        """Position of a global rank inside this group."""
+        try:
+            return self.ranks.index(global_rank)
+        except ValueError as exc:
+            raise KeyError(
+                f"rank {global_rank} not in process group {self.ranks}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Topology summaries consumed by the cost model
+    # ------------------------------------------------------------------
+    @property
+    def hosts_spanned(self) -> int:
+        """Number of distinct hosts containing at least one member."""
+        return len({self.cluster.host_of(r) for r in self.ranks})
+
+    @property
+    def ranks_per_host(self) -> int:
+        """Members per host; requires an even spread (raises otherwise)."""
+        counts: dict = {}
+        for r in self.ranks:
+            h = self.cluster.host_of(r)
+            counts[h] = counts.get(h, 0) + 1
+        values = set(counts.values())
+        if len(values) != 1:
+            raise ValueError(
+                f"process group is not host-balanced: per-host counts {counts}"
+            )
+        return values.pop()
+
+    @property
+    def is_single_host(self) -> bool:
+        return self.hosts_spanned == 1
+
+    def cross_host_fraction(self) -> float:
+        """Fraction of uniform all-pairs traffic that crosses hosts.
+
+        For a host-balanced group with ``W`` members, ``m`` per host,
+        each member exchanges with ``W-1`` others, of which ``W-m``
+        are remote: fraction ``(W-m)/(W-1)``.
+        """
+        if self.world_size == 1:
+            return 0.0
+        m = self.ranks_per_host
+        return (self.world_size - m) / (self.world_size - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(map(str, self.ranks[:8]))
+        tail = ", ..." if len(self.ranks) > 8 else ""
+        return f"ProcessGroup([{head}{tail}], world={self.world_size})"
+
+
+def global_group(cluster: Cluster) -> ProcessGroup:
+    """All ranks in the cluster — the flat paradigm's world."""
+    return ProcessGroup(cluster, tuple(range(cluster.world_size)))
+
+
+def intra_host_groups(cluster: Cluster) -> List[ProcessGroup]:
+    """One group per host containing its local ranks (SPTT step d)."""
+    return [
+        ProcessGroup(cluster, cluster.ranks_on_host(h))
+        for h in range(cluster.num_hosts)
+    ]
+
+
+def peer_groups(cluster: Cluster) -> List[ProcessGroup]:
+    """The ``L`` disjoint peer groups (SPTT step f).
+
+    Group ``l`` holds every rank with local index ``l``, ordered by
+    host — which is exactly the "peer order" key ``(g % L, g // L)``
+    restricted to one value of ``g % L``.
+    """
+    return [ProcessGroup(cluster, pg) for pg in cluster.peer_groups()]
+
+
+def group_for_ranks(cluster: Cluster, ranks: Sequence[int]) -> ProcessGroup:
+    """Ad-hoc group over explicit ranks (used by planner experiments)."""
+    return ProcessGroup(cluster, tuple(ranks))

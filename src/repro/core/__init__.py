@@ -1,0 +1,28 @@
+"""The paper's primary contribution: SPTT, tower pipelines, peer math.
+
+- :mod:`repro.core.partition` — feature-to-tower assignments.
+- :mod:`repro.core.peer` — the peer-order geometry of §3.1.1.
+- :mod:`repro.core.flat_pipeline` — the classic global-AlltoAll
+  embedding exchange (Figure 4), the baseline SPTT is measured against.
+- :mod:`repro.core.sptt` — the Semantic-Preserving Tower Transform
+  (Figure 7, steps a-f).
+- :mod:`repro.core.dmt_pipeline` — distributed DMT training step
+  (SPTT + tower modules + hybrid-parallel dense sync).
+"""
+
+from repro.core.partition import FeaturePartition
+from repro.core.peer import peer_order, peer_permutation, tower_of_host
+from repro.core.flat_pipeline import FlatEmbeddingExchange
+from repro.core.sptt import SPTTEmbeddingExchange
+from repro.core.dmt_pipeline import DistributedDMTTrainer, DistributedHybridTrainer
+
+__all__ = [
+    "FeaturePartition",
+    "peer_order",
+    "peer_permutation",
+    "tower_of_host",
+    "FlatEmbeddingExchange",
+    "SPTTEmbeddingExchange",
+    "DistributedDMTTrainer",
+    "DistributedHybridTrainer",
+]

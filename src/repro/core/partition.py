@@ -1,0 +1,127 @@
+"""Feature-to-tower partitions.
+
+A :class:`FeaturePartition` is the contract between the tower
+partitioner (which produces one), the DMT models (which build one tower
+module per group), and the SPTT pipeline (which assigns each group's
+embedding tables to one host).  Groups are ordered: group ``t`` is
+tower ``t`` and lives on host ``t`` (or host-set ``t`` in the
+specialized K-host variant, §3.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FeaturePartition:
+    """An ordered partition of feature indices into towers.
+
+    Parameters
+    ----------
+    groups:
+        ``groups[t]`` lists the feature indices of tower ``t``.  Every
+        feature index in ``range(num_features)`` must appear exactly
+        once across groups, and every group must be non-empty.
+
+    Examples
+    --------
+    >>> p = FeaturePartition.strided(num_features=8, num_towers=4)
+    >>> p.groups
+    ((0, 4), (1, 5), (2, 6), (3, 7))
+    >>> p.group_of(5)
+    1
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("partition needs at least one group")
+        flat: List[int] = []
+        for g in self.groups:
+            if len(g) == 0:
+                raise ValueError(f"empty tower group in partition: {self.groups}")
+            flat.extend(g)
+        n = len(flat)
+        if sorted(flat) != list(range(n)):
+            raise ValueError(
+                "groups must cover each feature index exactly once; got "
+                f"{self.groups}"
+            )
+
+    @classmethod
+    def from_groups(cls, groups: Sequence[Sequence[int]]) -> "FeaturePartition":
+        return cls(tuple(tuple(int(i) for i in g) for g in groups))
+
+    @classmethod
+    def single_tower(cls, num_features: int) -> "FeaturePartition":
+        """The degenerate 'flat model' partition (one global tower)."""
+        return cls.from_groups([list(range(num_features))])
+
+    @classmethod
+    def pass_through(cls, num_features: int) -> "FeaturePartition":
+        """One tower per feature — Table 3's SPTT-neutrality setup."""
+        return cls.from_groups([[f] for f in range(num_features)])
+
+    @classmethod
+    def strided(cls, num_features: int, num_towers: int) -> "FeaturePartition":
+        """The naive baseline of Table 6: sequential assignment with a
+        stride equal to the number of towers.
+
+        For 26 features and 8 towers this reproduces the paper's
+        example: [[0, 8, 16, 24], [1, 9, 17, 25], [2, 10, 18], ...].
+        """
+        if not 1 <= num_towers <= num_features:
+            raise ValueError(
+                f"num_towers must be in [1, {num_features}], got {num_towers}"
+            )
+        groups = [
+            list(range(t, num_features, num_towers)) for t in range(num_towers)
+        ]
+        return cls.from_groups(groups)
+
+    @classmethod
+    def contiguous(cls, num_features: int, num_towers: int) -> "FeaturePartition":
+        """Contiguous blocks of near-equal size (block-structure oracle)."""
+        if not 1 <= num_towers <= num_features:
+            raise ValueError(
+                f"num_towers must be in [1, {num_features}], got {num_towers}"
+            )
+        base, extra = divmod(num_features, num_towers)
+        groups, start = [], 0
+        for t in range(num_towers):
+            size = base + (1 if t < extra else 0)
+            groups.append(list(range(start, start + size)))
+            start += size
+        return cls.from_groups(groups)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_towers(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_features(self) -> int:
+        return sum(len(g) for g in self.groups)
+
+    def group_of(self, feature: int) -> int:
+        for t, g in enumerate(self.groups):
+            if feature in g:
+                return t
+        raise KeyError(f"feature {feature} not in partition")
+
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(len(g) for g in self.groups)
+
+    def balance_ratio(self) -> float:
+        """max group size / min group size (1.0 = perfectly balanced)."""
+        sizes = self.sizes()
+        return max(sizes) / min(sizes)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return self.num_towers

@@ -1,0 +1,20 @@
+"""Datasets: synthetic Criteo-like click logs and throughput inputs.
+
+``repro.data.criteo`` generates labeled click logs with *planted
+block-structured feature interactions* (the ground truth TP should
+recover); ``repro.data.synthetic`` generates uniform random batches for
+throughput benchmarking, matching the paper's §5.3 methodology ("we use
+a random dataset for throughput evaluation").
+"""
+
+from repro.data.criteo import SyntheticCriteoConfig, SyntheticCriteoDataset
+from repro.data.loader import BatchIterator, train_eval_split
+from repro.data.synthetic import random_batch
+
+__all__ = [
+    "SyntheticCriteoConfig",
+    "SyntheticCriteoDataset",
+    "BatchIterator",
+    "train_eval_split",
+    "random_batch",
+]

@@ -1,0 +1,74 @@
+"""Batch iteration and splits over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+Batch = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class BatchIterator:
+    """Shuffled mini-batch iterator over (dense, ids, labels) arrays.
+
+    Drops the trailing partial batch (matching fixed-shape training in
+    the paper's pipelines); reshuffles each epoch from its own rng so
+    runs are exactly repeatable.
+    """
+
+    def __init__(
+        self,
+        dense: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        n = len(labels)
+        if not (len(dense) == len(ids) == n):
+            raise ValueError(
+                f"length mismatch: dense {len(dense)}, ids {len(ids)}, "
+                f"labels {n}"
+            )
+        if batch_size <= 0 or batch_size > n:
+            raise ValueError(
+                f"batch_size must be in [1, {n}], got {batch_size}"
+            )
+        self.dense = np.asarray(dense)
+        self.ids = np.asarray(ids)
+        self.labels = np.asarray(labels)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self.labels) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        n = len(self.labels)
+        order = (
+            self._rng.permutation(n) if self.shuffle else np.arange(n)
+        )
+        for i in range(len(self)):
+            sel = order[i * self.batch_size : (i + 1) * self.batch_size]
+            yield self.dense[sel], self.ids[sel], self.labels[sel]
+
+
+def train_eval_split(
+    dense: np.ndarray,
+    ids: np.ndarray,
+    labels: np.ndarray,
+    eval_fraction: float = 0.2,
+) -> Tuple[Batch, Batch]:
+    """Deterministic head/tail split (generator data is already i.i.d.)."""
+    if not 0.0 < eval_fraction < 1.0:
+        raise ValueError(f"eval_fraction must be in (0, 1), got {eval_fraction}")
+    n = len(labels)
+    cut = int(n * (1.0 - eval_fraction))
+    if cut == 0 or cut == n:
+        raise ValueError(f"split of {n} samples at {eval_fraction} is degenerate")
+    train = (dense[:cut], ids[:cut], labels[:cut])
+    evals = (dense[cut:], ids[cut:], labels[cut:])
+    return train, evals

@@ -1,0 +1,35 @@
+"""Uniform random batches for throughput evaluation (§5.3: "we use a
+random dataset for throughput evaluation" to exclude data-pipeline
+variance)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def random_batch(
+    batch_size: int,
+    num_dense: int,
+    num_sparse: int,
+    cardinality: int,
+    pooling: int = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unstructured (dense, ids, labels) batch.
+
+    ids shape is (B, F) for single-hot (pooling=1) else (B, F, pooling).
+    """
+    if min(batch_size, num_dense, num_sparse, cardinality, pooling) <= 0:
+        raise ValueError("all batch dimensions must be positive")
+    rng = rng or np.random.default_rng(0)
+    dense = rng.standard_normal((batch_size, num_dense))
+    shape = (
+        (batch_size, num_sparse)
+        if pooling == 1
+        else (batch_size, num_sparse, pooling)
+    )
+    ids = rng.integers(0, cardinality, size=shape)
+    labels = rng.integers(0, 2, size=batch_size).astype(np.float64)
+    return dense, ids, labels

@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each experiment exposes ``run(fast: bool = True) -> ExperimentResult``
+and registers itself under the paper's table/figure id.  The
+``dmt-repro`` CLI (``repro.experiments.runner``) lists and executes
+them; the benchmark suite regenerates each one and asserts its headline
+claims.
+
+``fast=True`` (default) shrinks seed counts and dataset sizes so the
+whole suite completes in minutes; ``fast=False`` runs the full
+protocol (9 seeds, larger data) for tighter statistics.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.registry import get_experiment, list_experiments, register
+
+# Importing the modules registers them.
+from repro.experiments import (  # noqa: E402,F401
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    figure1,
+    figure5,
+    figure6,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    xlrm,
+    quantization,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "register",
+]

@@ -1,0 +1,99 @@
+"""Shared helpers and transcribed paper values for the experiment suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from repro.perf.profiles import (
+    ModelProfile,
+    dmt_dcn_profile,
+    dmt_dlrm_profile,
+    paper_dcn_profile,
+    paper_dlrm_profile,
+    sptt_only_profile,
+)
+
+#: Figure 10, transcribed: speedup of DMT over the Strong Baseline.
+#: (The paper's V100 cluster supports at most 16 hosts, hence 4 points.)
+PAPER_FIGURE10_DLRM: Dict[str, Dict[int, float]] = {
+    "V100": {16: 1.1, 32: 1.2, 64: 1.9, 128: 1.9},
+    "A100": {16: 0.9, 32: 1.1, 64: 1.9, 128: 1.5, 256: 1.6, 512: 1.7},
+    "H100": {16: 0.9, 32: 0.9, 64: 1.8, 128: 1.8, 256: 1.6, 512: 1.7},
+}
+PAPER_FIGURE10_DCN: Dict[str, Dict[int, float]] = {
+    "V100": {16: 1.9, 32: 1.8, 64: 1.7, 128: 1.2},
+    "A100": {16: 1.4, 32: 1.4, 64: 1.8, 128: 1.3, 256: 1.2, 512: 1.3},
+    "H100": {16: 1.1, 32: 1.1, 64: 1.6, 128: 1.2, 256: 1.3, 512: 1.4},
+}
+
+#: Figure 11, transcribed: TM-over-SPTT speedup on DLRM.
+PAPER_FIGURE11: Dict[str, Dict[int, float]] = {
+    "V100": {16: 1.4, 32: 1.3, 64: 1.3, 128: 1.4},
+    "A100": {16: 1.3, 32: 1.2, 64: 1.2, 128: 1.3, 256: 1.2, 512: 1.2},
+    "H100": {16: 1.2, 32: 1.2, 64: 1.2, 128: 1.2, 256: 1.2, 512: 1.2},
+}
+
+#: Figure 12, transcribed: compression-ratio speedup on DMT 8T-DLRM.
+PAPER_FIGURE12: Dict[str, Dict[int, float]] = {
+    "V100": {2: 1.3, 4: 1.7, 8: 1.9, 16: 2.0},
+    "A100": {2: 1.2, 4: 1.4, 8: 1.6, 16: 1.7},
+    "H100": {2: 1.2, 4: 1.4, 8: 1.5, 16: 1.6},
+}
+
+#: Figure 13, transcribed (ms, DCN vs DMT-DCN on 64xH100).
+PAPER_FIGURE13 = {
+    "baseline_compute_ms": 29.4,
+    "baseline_emb_ms": 11.5,
+    "dmt_compute_ms": 21.8,
+    "dmt_emb_ms": 2.5,
+    "others_ms": 1.2,
+}
+
+#: The local batch every throughput experiment uses (§5.3.1).
+LOCAL_BATCH = 16384
+
+#: GPU counts per generation (paper: 16-512, V100 capped at 128).
+SCALES = {
+    "V100": (16, 32, 64, 128),
+    "A100": (16, 32, 64, 128, 256, 512),
+    "H100": (16, 32, 64, 128, 256, 512),
+}
+
+
+def dmt_profile_for_towers(kind: str, num_towers: int) -> ModelProfile:
+    """The DMT profile matching a host count, per §5.2.2's settings.
+
+    Tower counts beyond 26 (the Criteo feature count) column-shard
+    features (§5.2.2 footnote); profile-wise the 26T configuration is
+    reused with the tower count overridden.
+    """
+    if kind == "dlrm":
+        if num_towers == 16:
+            return dmt_dlrm_profile(16, tower_dim=128, c=0, p=1)
+        if num_towers <= 26:
+            return dmt_dlrm_profile(num_towers)
+        return replace(
+            dmt_dlrm_profile(26),
+            num_towers=num_towers,
+            name=f"DMT-{num_towers}T-DLRM",
+        )
+    if kind == "dcn":
+        if num_towers <= 16:
+            return dmt_dcn_profile(num_towers)
+        if num_towers <= 26:
+            return sptt_only_profile(paper_dcn_profile(), num_towers)
+        return replace(
+            dmt_dcn_profile(16),
+            num_towers=num_towers,
+            name=f"DMT-{num_towers}T-DCN",
+        )
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def baseline_profile(kind: str) -> ModelProfile:
+    if kind == "dlrm":
+        return paper_dlrm_profile()
+    if kind == "dcn":
+        return paper_dcn_profile()
+    raise ValueError(f"unknown model kind {kind!r}")

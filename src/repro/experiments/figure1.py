@@ -1,0 +1,37 @@
+"""Figure 1: exposed latency breakdown of DCN on 64 H100 GPUs."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+from repro.hardware import Cluster
+from repro.perf.iteration_model import IterationLatencyModel
+from repro.perf.profiles import paper_dcn_profile
+
+PAPER_PCT = {
+    "compute": 70.4,
+    "exposed_emb_comm": 27.5,
+    "exposed_dense_sync": 2.1,
+}
+
+
+@register("figure1", "Iteration latency breakdown, DCN on 64xH100")
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    cluster = Cluster(num_hosts=8, gpus_per_host=8, generation="H100")
+    model = IterationLatencyModel()
+    breakdown = model.hybrid(paper_dcn_profile(), cluster, local_batch=16384)
+    pct = breakdown.percentages()
+    rows = [
+        [name, f"{pct[name]:.1f}%", f"{PAPER_PCT.get(name, 0.0):.1f}%"]
+        for name in ("compute", "exposed_emb_comm", "exposed_dense_sync", "others")
+    ]
+    body = format_table(["component", "ours", "paper"], rows)
+    body += f"\niteration total: {breakdown.total_s * 1e3:.2f} ms"
+    return ExperimentResult(
+        exp_id="figure1",
+        title="Exposed latency breakdown (DCN, 64xH100, B=16K/GPU)",
+        body=body,
+        data={"percentages": pct, "total_ms": breakdown.total_s * 1e3},
+        paper_reference="70.4% compute / 27.5% exposed emb comm / 2.1% dense sync",
+    )

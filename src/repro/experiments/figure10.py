@@ -1,0 +1,57 @@
+"""Figure 10: DMT speedup over DLRM/DCN across hardware and scale."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    LOCAL_BATCH,
+    PAPER_FIGURE10_DCN,
+    PAPER_FIGURE10_DLRM,
+    SCALES,
+    baseline_profile,
+    dmt_profile_for_towers,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+from repro.hardware import Cluster
+from repro.perf.iteration_model import IterationLatencyModel
+
+
+def _sweep(kind: str, model: IterationLatencyModel):
+    paper = PAPER_FIGURE10_DLRM if kind == "dlrm" else PAPER_FIGURE10_DCN
+    rows, data = [], {}
+    base = baseline_profile(kind)
+    for gen, sizes in SCALES.items():
+        for gpus in sizes:
+            hosts = gpus // 8
+            cluster = Cluster(hosts, 8, gen)
+            profile = dmt_profile_for_towers(kind, hosts)
+            speedup = model.speedup(base, profile, cluster, LOCAL_BATCH)
+            rows.append(
+                [gen, gpus, f"{speedup:.2f}", f"{paper[gen][gpus]:.1f}"]
+            )
+            data[f"{gen}/{gpus}"] = speedup
+    return rows, data
+
+
+@register("figure10", "Speedup of DMT over DLRM and DCN baselines")
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    model = IterationLatencyModel()
+    body_parts, data = [], {}
+    for kind in ("dlrm", "dcn"):
+        rows, sweep = _sweep(kind, model)
+        data[kind] = sweep
+        body_parts.append(f"-- DMT-{kind.upper()} over {kind.upper()} --")
+        body_parts.append(
+            format_table(["platform", "GPUs", "ours", "paper"], rows)
+        )
+    data["max_speedup"] = max(
+        v for sweep in (data["dlrm"], data["dcn"]) for v in sweep.values()
+    )
+    return ExperimentResult(
+        exp_id="figure10",
+        title="DMT speedup across V100/A100/H100, 16-512 GPUs",
+        body="\n".join(body_parts),
+        data=data,
+        paper_reference="up to 1.9x (DLRM) and 1.8x (DCN) at large scale",
+    )

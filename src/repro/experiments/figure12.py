@@ -1,0 +1,44 @@
+"""Figure 12: effect of TM compression ratio on speedup (DMT 8T-DLRM)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import LOCAL_BATCH, PAPER_FIGURE12
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+from repro.hardware import Cluster
+from repro.perf.iteration_model import IterationLatencyModel
+from repro.perf.profiles import (
+    dmt_dlrm_profile,
+    paper_dlrm_profile,
+    sptt_only_profile,
+)
+
+#: Table 5 / Figure 12 D sweep: D in {64, 32, 16, 8} -> CR in {2,4,8,16}.
+CR_TO_TOWER_DIM = {2: 64, 4: 32, 8: 16, 16: 8}
+
+
+@register("figure12", "Compression ratio vs speedup, DMT 8T-DLRM")
+def run(fast: bool = True) -> ExperimentResult:
+    del fast
+    model = IterationLatencyModel()
+    rows, data = [], {}
+    for gen in ("V100", "A100", "H100"):
+        cluster = Cluster(8, 8, gen)
+        sptt = model.dmt(
+            sptt_only_profile(paper_dlrm_profile(), 8), cluster, LOCAL_BATCH
+        )
+        for cr, tower_dim in CR_TO_TOWER_DIM.items():
+            profile = dmt_dlrm_profile(8, tower_dim=tower_dim)
+            assert abs(profile.compression_ratio - cr) < 1e-9
+            speedup = model.dmt(profile, cluster, LOCAL_BATCH).speedup_over(sptt)
+            rows.append(
+                [gen, cr, f"{speedup:.2f}", f"{PAPER_FIGURE12[gen][cr]:.1f}"]
+            )
+            data[f"{gen}/CR{cr}"] = speedup
+    return ExperimentResult(
+        exp_id="figure12",
+        title="TM compression ratio vs speedup over SPTT (64 GPUs)",
+        body=format_table(["platform", "CR", "ours", "paper"], rows),
+        data=data,
+        paper_reference="up to 2x at CR=16 for <0.5% AUC cost (w/ Table 5)",
+    )

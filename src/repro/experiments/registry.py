@@ -1,0 +1,39 @@
+"""Experiment registry: paper table/figure id -> driver."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.result import ExperimentResult
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: Dict[str, Dict[str, object]] = {}
+
+
+def register(exp_id: str, title: str) -> Callable[[Runner], Runner]:
+    """Decorator registering an experiment driver under a paper id."""
+
+    def deco(fn: Runner) -> Runner:
+        if exp_id in _REGISTRY:
+            raise ValueError(f"experiment {exp_id!r} registered twice")
+        _REGISTRY[exp_id] = {"run": fn, "title": title}
+        return fn
+
+    return deco
+
+
+def get_experiment(exp_id: str) -> Runner:
+    try:
+        return _REGISTRY[exp_id]["run"]  # type: ignore[return-value]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {known}"
+        ) from exc
+
+
+def list_experiments() -> List["tuple[str, str]"]:
+    return [
+        (exp_id, str(meta["title"])) for exp_id, meta in sorted(_REGISTRY.items())
+    ]

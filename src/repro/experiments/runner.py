@@ -1,0 +1,66 @@
+"""CLI for the experiment suite: ``dmt-repro list|run|all``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dmt-repro",
+        description=(
+            "Regenerate the tables and figures of 'Disaggregated "
+            "Multi-Tower' (MLSys 2024)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("exp_id", help="e.g. table4 or figure10")
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full protocol (9 seeds) instead of the fast default",
+    )
+    run_p.add_argument(
+        "--save", metavar="DIR", default=None, help="also write results to DIR"
+    )
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--full", action="store_true")
+    all_p.add_argument("--save", metavar="DIR", default=None)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id, title in list_experiments():
+            print(f"{exp_id:<14} {title}")
+        return 0
+
+    ids = (
+        [args.exp_id]
+        if args.command == "run"
+        else [exp_id for exp_id, _ in list_experiments()]
+    )
+    for exp_id in ids:
+        runner = get_experiment(exp_id)
+        start = time.time()
+        result = runner(fast=not args.full)
+        elapsed = time.time() - start
+        print(result.render())
+        print(f"[{elapsed:.1f}s]")
+        print()
+        if args.save:
+            path = result.save(args.save)
+            print(f"saved -> {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Table 1: generational compute-vs-network gap."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+from repro.hardware.specs import GENERATIONS, V100, H100, compute_network_gap
+
+
+@register("table1", "Datacenter generational upgrades (compute vs network)")
+def run(fast: bool = True) -> ExperimentResult:
+    del fast  # no scaling knob: this table is pure spec data
+    rows = []
+    for spec in GENERATIONS.values():
+        rows.append(
+            [
+                f"{spec.generation}, {spec.year}",
+                f"{spec.peak_tflops:g} TF/s",
+                f"{spec.scale_out_gbps:g} Gbps",
+                f"{spec.scale_up_gbs:g} GB/s",
+            ]
+        )
+    compute_growth, network_growth = compute_network_gap(V100, H100)
+    body = format_table(
+        ["System", "Peak FP Perf", "Scale-out/GPU", "Scale-up/GPU (unidir)"],
+        rows,
+    )
+    body += (
+        f"\nV100 -> H100: compute x{compute_growth:.0f}, "
+        f"scale-out x{network_growth:.0f} "
+        f"(gap x{compute_growth / network_growth:.0f})"
+    )
+    return ExperimentResult(
+        exp_id="table1",
+        title="Recent generational upgrades (paper Table 1)",
+        body=body,
+        data={
+            "compute_growth": compute_growth,
+            "network_growth": network_growth,
+        },
+        paper_reference="compute improved ~60x while scale-out grew 4x (§1)",
+    )

@@ -1,0 +1,133 @@
+"""Table 2: the Strong Baseline (big batch + Adam + tuned schedule).
+
+Two claims reproduce:
+
+1. **Quality**: large-batch Adam with warmup matches or beats
+   small-batch default training in evaluation AUC (the paper improves
+   on stock TorchRec by 0.17%/0.39%).
+2. **Epoch time**: at the paper's scale (one epoch = 4B Criteo
+   samples), large batches collapse epoch time from hours to minutes —
+   modeled with the iteration latency model on 8xA100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.quality import (
+    FAST_SEEDS,
+    FULL_SEEDS,
+    auc_sweep,
+    dcn_factory,
+    dlrm_factory,
+    quality_data,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+from repro.hardware import Cluster
+from repro.models.configs import DenseArch
+from repro.perf.iteration_model import IterationLatencyModel
+from repro.perf.profiles import paper_dcn_profile, paper_dlrm_profile
+from repro.training import TrainConfig, Trainer
+
+PAPER_ROWS = {
+    "Baseline (DLRM)": (2048, 0.8030, "6.5hrs"),
+    "Strong Baseline (DLRM)": (131072, 0.8047, "29mins"),
+    "Baseline (DCN)": (131072, 0.7963, "58mins"),
+    "Strong Baseline (DCN)": (131072, 0.8002, "27mins"),
+}
+
+#: Paper-scale epoch definition: Criteo at 4B samples (§5.2).
+EPOCH_SAMPLES = 4_000_000_000
+
+
+def _weak_auc(factory, seed: int) -> float:
+    """Default-recipe run: small batch, SGD, no schedule."""
+    _, (td, ti, tl), (ed, ei, el) = quality_data()
+    model = factory(np.random.default_rng(100 + seed))
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            batch_size=64,
+            epochs=1,
+            seed=seed,
+            dense_optimizer="sgd",
+            dense_lr=0.05,
+            sparse_lr=0.01,
+        ),
+    )
+    trainer.fit(td, ti, tl)
+    return trainer.evaluate(ed, ei, el).auc
+
+
+def _strong_auc(factory, seed: int) -> float:
+    """Strong recipe: larger batch, Adam, warmup schedule."""
+    _, (td, ti, tl), (ed, ei, el) = quality_data()
+    model = factory(np.random.default_rng(100 + seed))
+    trainer = Trainer(
+        model,
+        TrainConfig(batch_size=512, epochs=2, seed=seed, warmup_steps=8),
+    )
+    trainer.fit(td, ti, tl)
+    return trainer.evaluate(ed, ei, el).auc
+
+
+def _epoch_minutes(profile, global_batch: int) -> float:
+    """Modeled paper-scale epoch time on 8xA100."""
+    cluster = Cluster(num_hosts=1, gpus_per_host=8, generation="A100")
+    local_batch = max(global_batch // cluster.world_size, 1)
+    model = IterationLatencyModel()
+    iter_s = model.hybrid(profile, cluster, local_batch).total_s
+    return EPOCH_SAMPLES / global_batch * iter_s / 60.0
+
+
+@register("table2", "Strong Baseline: quality and epoch time")
+def run(fast: bool = True) -> ExperimentResult:
+    seeds = FAST_SEEDS[:3] if fast else FULL_SEEDS
+    rows, data = [], {}
+    for name, factory, profile in (
+        ("DLRM", dlrm_factory, paper_dlrm_profile()),
+        ("DCN", dcn_factory, paper_dcn_profile()),
+    ):
+        weak = [_weak_auc(factory, s) for s in seeds]
+        strong = [_strong_auc(factory, s) for s in seeds]
+        t_weak = _epoch_minutes(profile, 2048)
+        t_strong = _epoch_minutes(profile, 131072)
+        paper_base = PAPER_ROWS[f"Baseline ({name})"]
+        paper_strong = PAPER_ROWS[f"Strong Baseline ({name})"]
+        rows.append(
+            [
+                f"Baseline ({name})",
+                f"{np.median(weak):.4f}",
+                f"{t_weak:.0f} min",
+                f"{paper_base[1]:.4f} / {paper_base[2]}",
+            ]
+        )
+        rows.append(
+            [
+                f"Strong Baseline ({name})",
+                f"{np.median(strong):.4f}",
+                f"{t_strong:.0f} min",
+                f"{paper_strong[1]:.4f} / {paper_strong[2]}",
+            ]
+        )
+        data[name] = {
+            "weak_auc": float(np.median(weak)),
+            "strong_auc": float(np.median(strong)),
+            "weak_epoch_min": t_weak,
+            "strong_epoch_min": t_strong,
+        }
+    body = format_table(
+        ["Config", "AUC (ours)", "Epoch time (modeled)", "paper AUC / time"],
+        rows,
+    )
+    return ExperimentResult(
+        exp_id="table2",
+        title="Strong Baseline vs default recipe",
+        body=body,
+        data=data,
+        paper_reference=(
+            "Strong Baseline beats stock TorchRec AUC by 0.17%/0.39% and "
+            "cuts epoch time from 6.5h to 29min (DLRM)"
+        ),
+    )

@@ -1,0 +1,34 @@
+"""Data-center hardware model: GPU generations, hosts, and cluster topology.
+
+This package encodes the hardware context of the paper's Table 1 (the
+compute-vs-network generational gap) and provides the :class:`Cluster`
+abstraction that every other subsystem (collective cost model, sharding
+planner, iteration latency model, SPTT peer math) builds on.
+"""
+
+from repro.hardware.specs import (
+    GPUGeneration,
+    GPUSpec,
+    A100,
+    H100,
+    V100,
+    GENERATIONS,
+    get_spec,
+    compute_network_gap,
+)
+from repro.hardware.topology import Cluster, Host, GPU, LinkType
+
+__all__ = [
+    "GPUGeneration",
+    "GPUSpec",
+    "V100",
+    "A100",
+    "H100",
+    "GENERATIONS",
+    "get_spec",
+    "compute_network_gap",
+    "Cluster",
+    "Host",
+    "GPU",
+    "LinkType",
+]

@@ -1,0 +1,171 @@
+"""GPU generation specifications (paper Table 1).
+
+The paper's core systems argument is quantitative: between the V100
+(2019) and H100 (2023) datacenter platforms, peak floating-point compute
+grew ~60x while scale-out (NIC) bandwidth grew only 4x, so the embedding
+exchange — which sends roughly a byte on the wire per byte of embedding
+read — became the bottleneck.  These dataclasses encode exactly the
+numbers in Table 1 plus the auxiliary quantities (HBM bandwidth,
+achievable matmul utilization) the iteration-latency model needs.
+
+Units
+-----
+- ``peak_tflops``: peak dense FP16/BF16-accumulate tensor throughput in
+  TFLOP/s, as reported in Table 1 (e.g. 989 for H100).
+- ``scale_out_gbps``: per-GPU NIC bandwidth in Gbit/s (RDMA).
+- ``scale_up_gbs``: per-GPU unidirectional NVLink bandwidth in GByte/s.
+- ``hbm_gbs``: HBM bandwidth in GByte/s (used by the embedding-lookup
+  and data-shuffle cost terms).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class GPUGeneration(enum.Enum):
+    """The three hardware platforms evaluated in the paper (§5.1)."""
+
+    V100 = "V100"
+    A100 = "A100"
+    H100 = "H100"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of one GPU generation as deployed in the paper's fleet.
+
+    Attributes
+    ----------
+    generation:
+        Which platform this spec describes.
+    year:
+        Deployment year per Table 1.
+    peak_tflops:
+        Peak floating-point throughput (TFLOP/s), Table 1 column
+        "Peak FP Perf".
+    scale_out_gbps:
+        Per-GPU scale-out (NIC / RDMA) bandwidth, Gbit/s, Table 1.
+    scale_up_gbs:
+        Per-GPU unidirectional scale-up (NVLink) bandwidth, GByte/s,
+        Table 1.
+    hbm_gbs:
+        HBM memory bandwidth, GByte/s (public datasheets: V100 900,
+        A100 2039, H100 3350).
+    matmul_utilization:
+        Fraction of peak flops achievable on the dense part of a
+        recommendation model.  Recommendation MLPs are small and
+        memory-bound relative to transformer GEMMs, so this is low and
+        *decreases* with newer generations (roofline shifts right);
+        calibrated so the Figure 1 breakdown (70.4% compute on 64xH100
+        DCN) and the Figure 10 V100-vs-H100 speedup ordering hold.
+    """
+
+    generation: GPUGeneration
+    year: int
+    peak_tflops: float
+    scale_out_gbps: float
+    scale_up_gbs: float
+    hbm_gbs: float
+    matmul_utilization: float
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak throughput in FLOP/s."""
+        return self.peak_tflops * 1e12
+
+    @property
+    def effective_flops(self) -> float:
+        """Achievable FLOP/s on recommendation dense arches."""
+        return self.peak_flops * self.matmul_utilization
+
+    @property
+    def scale_out_gbs(self) -> float:
+        """Scale-out bandwidth converted to GByte/s."""
+        return self.scale_out_gbps / 8.0
+
+    @property
+    def scale_out_bytes_per_s(self) -> float:
+        return self.scale_out_gbs * 1e9
+
+    @property
+    def scale_up_bytes_per_s(self) -> float:
+        return self.scale_up_gbs * 1e9
+
+    @property
+    def hbm_bytes_per_s(self) -> float:
+        return self.hbm_gbs * 1e9
+
+
+#: Table 1 rows.  ``matmul_utilization`` is the one calibrated quantity
+#: (see class docstring); everything else is transcribed from the paper
+#: or the public datasheet.
+V100 = GPUSpec(
+    generation=GPUGeneration.V100,
+    year=2019,
+    peak_tflops=15.7,
+    scale_out_gbps=100.0,
+    scale_up_gbs=150.0,
+    hbm_gbs=900.0,
+    matmul_utilization=0.55,
+)
+
+A100 = GPUSpec(
+    generation=GPUGeneration.A100,
+    year=2022,
+    peak_tflops=156.0,
+    scale_out_gbps=200.0,
+    scale_up_gbs=300.0,
+    hbm_gbs=2039.0,
+    matmul_utilization=0.38,
+)
+
+H100 = GPUSpec(
+    generation=GPUGeneration.H100,
+    year=2023,
+    peak_tflops=989.0,
+    scale_out_gbps=400.0,
+    scale_up_gbs=450.0,
+    hbm_gbs=3350.0,
+    matmul_utilization=0.22,
+)
+
+GENERATIONS = {
+    GPUGeneration.V100: V100,
+    GPUGeneration.A100: A100,
+    GPUGeneration.H100: H100,
+}
+
+
+def get_spec(generation: "GPUGeneration | str") -> GPUSpec:
+    """Look up a :class:`GPUSpec` by enum or case-insensitive name.
+
+    >>> get_spec("h100").peak_tflops
+    989.0
+    """
+    if isinstance(generation, GPUGeneration):
+        return GENERATIONS[generation]
+    try:
+        return GENERATIONS[GPUGeneration(str(generation).upper())]
+    except ValueError as exc:
+        names = ", ".join(g.value for g in GPUGeneration)
+        raise KeyError(
+            f"unknown GPU generation {generation!r}; expected one of {names}"
+        ) from exc
+
+
+def compute_network_gap(old: GPUSpec, new: GPUSpec) -> "tuple[float, float]":
+    """Return (compute growth, scale-out growth) between two generations.
+
+    Reproduces the §1 claim: V100→H100 compute improved ~63x while
+    scale-out bandwidth improved only 4x.
+
+    >>> c, n = compute_network_gap(V100, H100)
+    >>> round(c), round(n)
+    (63, 4)
+    """
+    return new.peak_tflops / old.peak_tflops, new.scale_out_gbps / old.scale_out_gbps

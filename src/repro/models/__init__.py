@@ -1,0 +1,41 @@
+"""Recommendation models: DLRM, DCN, their DMT multi-tower variants,
+and the XLRM scaled configuration.
+
+Single-process model semantics live here; the distributed execution of
+the same math is in :mod:`repro.core`.  The DMT variants implement the
+*model-side* of the technique (tower modules + hierarchical feature
+interaction); equality between a pass-through DMT model and its flat
+original is the Table 3 claim and is covered by tests.
+"""
+
+from repro.models.configs import (
+    CRITEO_NUM_DENSE,
+    CRITEO_NUM_SPARSE,
+    criteo_table_configs,
+    paper_dlrm_arch,
+    paper_dcn_arch,
+    tiny_table_configs,
+)
+from repro.models.dlrm import DLRM
+from repro.models.dcn import DCN
+from repro.models.tower_module import DCNTowerModule, DLRMTowerModule, PassThroughTower
+from repro.models.dmt import DMTDCN, DMTDLRM
+from repro.models.xlrm import XLRMConfig, xlrm_paper_config
+
+__all__ = [
+    "DLRM",
+    "DCN",
+    "DMTDLRM",
+    "DMTDCN",
+    "DLRMTowerModule",
+    "DCNTowerModule",
+    "PassThroughTower",
+    "XLRMConfig",
+    "xlrm_paper_config",
+    "criteo_table_configs",
+    "tiny_table_configs",
+    "paper_dlrm_arch",
+    "paper_dcn_arch",
+    "CRITEO_NUM_DENSE",
+    "CRITEO_NUM_SPARSE",
+]

@@ -1,0 +1,147 @@
+"""DLRM (Naumov et al. 2019): dot-product interaction model.
+
+The model is deliberately split into an embedding plane and a dense
+plane: ``forward_with_embeddings`` / ``backward_with_embeddings`` let
+the distributed pipelines (flat and SPTT) supply embeddings produced by
+simulated collectives while reusing the exact same dense math as
+single-process execution — the property all equivalence tests lean on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.configs import DenseArch
+from repro.nn.embedding import EmbeddingBagCollection, TableConfig
+from repro.nn.interactions import DotInteraction
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+
+
+class DLRM(Module):
+    """Deep Learning Recommendation Model.
+
+    Dataflow: dense features -> bottom MLP -> (B, N); sparse ids ->
+    embeddings (B, F, N); pairwise dots over the F+1 stacked vectors;
+    top MLP over [bottom_out, dots] -> logit.
+
+    Parameters
+    ----------
+    num_dense:
+        Continuous feature count (13 for Criteo).
+    table_configs:
+        One embedding table per sparse feature; all share dim ``N``.
+    arch:
+        MLP sizing; ``arch.embedding_dim`` must equal the tables' dim.
+    rng:
+        Initializer randomness (one generator seeds the whole model).
+    """
+
+    def __init__(
+        self,
+        num_dense: int,
+        table_configs: Sequence[TableConfig],
+        arch: DenseArch,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        dims = {c.dim for c in table_configs}
+        if dims != {arch.embedding_dim}:
+            raise ValueError(
+                f"table dims {sorted(dims)} must equal arch embedding dim "
+                f"{arch.embedding_dim}"
+            )
+        self.num_dense = num_dense
+        self.num_sparse = len(table_configs)
+        self.embedding_dim = arch.embedding_dim
+        self.embeddings = EmbeddingBagCollection(table_configs, rng=rng)
+        self.bottom = MLP(
+            [num_dense, *arch.bottom_mlp, arch.embedding_dim],
+            rng=rng,
+            name="bottom",
+        )
+        self.interaction = DotInteraction(
+            num_inputs=self.num_sparse + 1, dim=arch.embedding_dim
+        )
+        top_in = arch.embedding_dim + self.interaction.out_features
+        self.top = MLP(
+            [top_in, *arch.top_mlp, 1],
+            rng=rng,
+            final_activation=False,
+            name="top",
+        )
+        self._grad_embs: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Dense plane (embeddings supplied externally)
+    # ------------------------------------------------------------------
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        """Logits from dense features and pre-looked-up embeddings.
+
+        ``embs`` has shape (B, F, N) — exactly what the embedding
+        exchange delivers to each rank.
+        """
+        B = dense.shape[0]
+        if embs.shape != (B, self.num_sparse, self.embedding_dim):
+            raise ValueError(
+                f"embeddings shape {embs.shape} != "
+                f"({B}, {self.num_sparse}, {self.embedding_dim})"
+            )
+        bottom_out = self.bottom(dense)  # (B, N)
+        stacked = np.concatenate([bottom_out[:, None, :], embs], axis=1)
+        dots = self.interaction(stacked)  # (B, C(F+1, 2))
+        top_in = np.concatenate([bottom_out, dots], axis=1)
+        return self.top(top_in).reshape(-1)
+
+    def backward_with_embeddings(
+        self, grad_logits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Backprop the dense plane; returns (grad_dense, grad_embs)."""
+        g_top_in = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
+        N = self.embedding_dim
+        g_bottom_direct = g_top_in[:, :N]
+        g_dots = g_top_in[:, N:]
+        g_stacked = self.interaction.backward(g_dots)  # (B, F+1, N)
+        g_bottom = g_bottom_direct + g_stacked[:, 0]
+        g_embs = g_stacked[:, 1:]
+        g_dense = self.bottom.backward(g_bottom)
+        return g_dense, g_embs
+
+    # ------------------------------------------------------------------
+    # Full single-process plane
+    # ------------------------------------------------------------------
+    def forward(self, dense: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        embs = self.embeddings(ids)
+        return self.forward_with_embeddings(dense, embs)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        g_dense, g_embs = self.backward_with_embeddings(grad_logits)
+        self._grad_embs = g_embs
+        self.embeddings.backward(g_embs)
+        return g_dense
+
+    # ------------------------------------------------------------------
+    def dense_parameters(self) -> List:
+        """Parameters synchronized via AllReduce in hybrid parallelism."""
+        return self.bottom.parameters() + self.top.parameters()
+
+    def sparse_parameters(self) -> List:
+        """Model-parallel parameters (embedding tables)."""
+        return self.embeddings.parameters()
+
+    def flops_per_sample(self) -> int:
+        return (
+            self.bottom.flops_per_sample()
+            + self.interaction.flops_per_sample()
+            + self.top.flops_per_sample()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DLRM(dense={self.num_dense}, sparse={self.num_sparse}, "
+            f"N={self.embedding_dim})"
+        )

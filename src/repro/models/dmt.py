@@ -1,0 +1,324 @@
+"""DMT model variants: multi-tower DLRM and DCN (§3.2).
+
+These classes implement the *model semantics* of DMT: features are
+partitioned into towers, each tower's embeddings pass through a tower
+module, and the global interaction runs over the (possibly compressed)
+tower outputs — hierarchical feature interaction.  With pass-through
+towers the models are exactly their flat originals (SPTT alone changes
+dataflow, not math — Table 3); with projecting tower modules they trade
+interaction completeness for compute and communication (Tables 4-5).
+
+The distributed execution of the same math lives in
+:mod:`repro.core.dmt_pipeline`; it reuses the submodules defined here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partition import FeaturePartition
+from repro.models.configs import DenseArch
+from repro.models.tower_module import (
+    DCNTowerModule,
+    DLRMTowerModule,
+    PassThroughTower,
+    TowerModuleBase,
+)
+from repro.nn.embedding import EmbeddingBagCollection, TableConfig
+from repro.nn.interactions import CrossNet, DotInteraction
+from repro.nn.layers import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+
+
+class _DMTBase(Module):
+    """Shared plumbing: embeddings, bottom MLP, tower dispatch."""
+
+    def __init__(
+        self,
+        num_dense: int,
+        table_configs: Sequence[TableConfig],
+        partition: FeaturePartition,
+        arch: DenseArch,
+        rng: np.random.Generator,
+    ):
+        if partition.num_features != len(table_configs):
+            raise ValueError(
+                f"partition covers {partition.num_features} features but "
+                f"{len(table_configs)} tables were given"
+            )
+        dims = {c.dim for c in table_configs}
+        if dims != {arch.embedding_dim}:
+            raise ValueError(
+                f"table dims {sorted(dims)} must equal arch embedding dim "
+                f"{arch.embedding_dim}"
+            )
+        self.num_dense = num_dense
+        self.num_sparse = len(table_configs)
+        self.embedding_dim = arch.embedding_dim
+        self.partition = partition
+        self.embeddings = EmbeddingBagCollection(table_configs, rng=rng)
+        self.bottom = MLP(
+            [num_dense, *arch.bottom_mlp, arch.embedding_dim],
+            rng=rng,
+            name="bottom",
+        )
+        self.towers: List[TowerModuleBase] = []
+
+    # ------------------------------------------------------------------
+    def _towers_forward(self, embs: np.ndarray) -> List[np.ndarray]:
+        """Slice (B, F, N) per tower group and apply tower modules."""
+        outs = []
+        for tower, group in zip(self.towers, self.partition.groups):
+            outs.append(tower(embs[:, list(group), :]))
+        return outs
+
+    def _towers_backward(
+        self, grads: Sequence[np.ndarray], batch: int
+    ) -> np.ndarray:
+        """Route per-tower output grads back to a full (B, F, N) grad."""
+        grad_embs = np.zeros((batch, self.num_sparse, self.embedding_dim))
+        for tower, group, g in zip(self.towers, self.partition.groups, grads):
+            grad_embs[:, list(group), :] = tower.backward(g)
+        return grad_embs
+
+    # ------------------------------------------------------------------
+    def compression_ratio(self) -> float:
+        """CR of §4: uncompressed tower bytes / tower-module output bytes."""
+        out = sum(t.out_dim for t in self.towers)
+        return self.num_sparse * self.embedding_dim / out
+
+    def tower_flops_per_sample(self) -> int:
+        return sum(t.flops_per_sample() for t in self.towers)
+
+    def dense_parameters(self) -> List:
+        """Globally data-parallel parameters (AllReduce world = G)."""
+        raise NotImplementedError
+
+    def tower_parameters(self) -> List:
+        """Tower-local parameters (AllReduce world = one host, §3.2)."""
+        return [p for t in self.towers for p in t.parameters()]
+
+    def sparse_parameters(self) -> List:
+        return self.embeddings.parameters()
+
+    def forward(self, dense: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        embs = self.embeddings(ids)
+        return self.forward_with_embeddings(dense, embs)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        g_dense, g_embs = self.backward_with_embeddings(grad_logits)
+        self.embeddings.backward(g_embs)
+        return g_dense
+
+
+class DMTDLRM(_DMTBase):
+    """Multi-tower DLRM with Listing 1 tower modules.
+
+    Parameters
+    ----------
+    tower_dim:
+        ``D``: per-vector output dimension of each tower module.  With
+        ``pass_through=True`` the towers are identities and ``tower_dim``
+        is ignored (the SPTT-only configuration).
+    c, p:
+        Listing 1 knobs: ``c`` per-feature projection vectors, ``p``
+        flat-combination vectors.  The paper's settings: c=1, p=0, D=64
+        for 2-8/26 towers; p=1, c=0, D=128 for 16 towers.
+    top_mlp:
+        Optional override of the overarch hidden sizes — "more towers
+        ... can reduce parameters in the over arch" (§5.2.2); the
+        paper's DMT-DLRM flops imply one fewer 1024 layer.
+    """
+
+    def __init__(
+        self,
+        num_dense: int,
+        table_configs: Sequence[TableConfig],
+        partition: FeaturePartition,
+        arch: DenseArch,
+        tower_dim: int = 64,
+        c: int = 1,
+        p: int = 0,
+        pass_through: bool = False,
+        top_mlp: "Optional[tuple]" = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        super().__init__(num_dense, table_configs, partition, arch, rng)
+        N = arch.embedding_dim
+        if pass_through:
+            self.towers = [PassThroughTower(len(g), N) for g in partition.groups]
+            vector_dim = N
+        else:
+            self.towers = [
+                DLRMTowerModule(len(g), N, tower_dim, c=c, p=p, rng=rng)
+                for g in partition.groups
+            ]
+            vector_dim = tower_dim
+        self.vector_dim = vector_dim
+        self.bottom_proj = (
+            Linear(N, vector_dim, rng=rng, name="bottom_proj")
+            if vector_dim != N
+            else None
+        )
+        total_vectors = 1 + sum(t.out_vectors for t in self.towers)
+        self.interaction = DotInteraction(total_vectors, vector_dim)
+        top_in = vector_dim + self.interaction.out_features
+        top_hidden = tuple(top_mlp) if top_mlp is not None else arch.top_mlp
+        self.top = MLP(
+            [top_in, *top_hidden, 1], rng=rng, final_activation=False, name="top"
+        )
+
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        B = dense.shape[0]
+        bottom_out = self.bottom(dense)
+        bvec = self.bottom_proj(bottom_out) if self.bottom_proj else bottom_out
+        tower_outs = self._towers_forward(embs)
+        views = [
+            out.reshape(B, t.out_vectors, self.vector_dim)
+            for out, t in zip(tower_outs, self.towers)
+        ]
+        stacked = np.concatenate([bvec[:, None, :]] + views, axis=1)
+        dots = self.interaction(stacked)
+        top_in = np.concatenate([bvec, dots], axis=1)
+        return self.top(top_in).reshape(-1)
+
+    def backward_with_embeddings(
+        self, grad_logits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        g_top_in = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
+        vd = self.vector_dim
+        g_bvec = g_top_in[:, :vd]
+        g_dots = g_top_in[:, vd:]
+        g_stacked = self.interaction.backward(g_dots)
+        g_bvec = g_bvec + g_stacked[:, 0]
+        B = g_stacked.shape[0]
+        tower_grads, start = [], 1
+        for t in self.towers:
+            sl = g_stacked[:, start : start + t.out_vectors]
+            tower_grads.append(sl.reshape(B, t.out_dim))
+            start += t.out_vectors
+        g_embs = self._towers_backward(tower_grads, B)
+        g_bottom = (
+            self.bottom_proj.backward(g_bvec) if self.bottom_proj else g_bvec
+        )
+        g_dense = self.bottom.backward(g_bottom)
+        return g_dense, g_embs
+
+    def dense_parameters(self) -> List:
+        params = self.bottom.parameters() + self.top.parameters()
+        if self.bottom_proj is not None:
+            params += self.bottom_proj.parameters()
+        return params
+
+    def flops_per_sample(self) -> int:
+        flops = (
+            self.bottom.flops_per_sample()
+            + self.interaction.flops_per_sample()
+            + self.top.flops_per_sample()
+            + self.tower_flops_per_sample()
+        )
+        if self.bottom_proj is not None:
+            flops += self.bottom_proj.flops_per_sample()
+        return flops
+
+
+class DMTDCN(_DMTBase):
+    """Multi-tower DCN with Listing 2 tower modules.
+
+    The overarch CrossNet consumes the concatenation of the bottom
+    vector and every tower's projected output; with ``tower_dim == N``,
+    pass-through towers and matching layer counts it is byte-identical
+    to flat DCN.
+
+    ``overarch_cross_layers`` overrides ``arch.cross_layers`` for the
+    global CrossNet: hierarchical interaction lets DMT trade tower-local
+    cross layers against global ones (the mechanism behind Table 4's
+    tower-count/flops interplay).
+    """
+
+    def __init__(
+        self,
+        num_dense: int,
+        table_configs: Sequence[TableConfig],
+        partition: FeaturePartition,
+        arch: DenseArch,
+        tower_dim: int = 128,
+        tower_cross_layers: int = 1,
+        pass_through: bool = False,
+        overarch_cross_layers: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        if arch.cross_layers <= 0:
+            raise ValueError("DMT-DCN requires arch.cross_layers >= 1")
+        super().__init__(num_dense, table_configs, partition, arch, rng)
+        N = arch.embedding_dim
+        if pass_through:
+            self.towers = [PassThroughTower(len(g), N) for g in partition.groups]
+        else:
+            self.towers = [
+                DCNTowerModule(
+                    len(g), N, tower_dim, cross_layers=tower_cross_layers, rng=rng
+                )
+                for g in partition.groups
+            ]
+        self.cross_dim = N + sum(t.out_dim for t in self.towers)
+        n_cross = (
+            overarch_cross_layers
+            if overarch_cross_layers is not None
+            else arch.cross_layers
+        )
+        self.cross = CrossNet(self.cross_dim, n_cross, rng=rng, name="cross")
+        self.top = MLP(
+            [self.cross_dim, *arch.top_mlp, 1],
+            rng=rng,
+            final_activation=False,
+            name="top",
+        )
+
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        B = dense.shape[0]
+        bottom_out = self.bottom(dense)
+        tower_outs = self._towers_forward(embs)
+        x0 = np.concatenate([bottom_out] + tower_outs, axis=1)
+        crossed = self.cross(x0)
+        return self.top(crossed).reshape(-1)
+
+    def backward_with_embeddings(
+        self, grad_logits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        g_crossed = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
+        g_x0 = self.cross.backward(g_crossed)
+        N = self.embedding_dim
+        g_bottom = g_x0[:, :N]
+        B = g_x0.shape[0]
+        tower_grads, start = [], N
+        for t in self.towers:
+            tower_grads.append(g_x0[:, start : start + t.out_dim])
+            start += t.out_dim
+        g_embs = self._towers_backward(tower_grads, B)
+        g_dense = self.bottom.backward(g_bottom)
+        return g_dense, g_embs
+
+    def dense_parameters(self) -> List:
+        return (
+            self.bottom.parameters()
+            + self.cross.parameters()
+            + self.top.parameters()
+        )
+
+    def flops_per_sample(self) -> int:
+        return (
+            self.bottom.flops_per_sample()
+            + self.cross.flops_per_sample()
+            + self.top.flops_per_sample()
+            + self.tower_flops_per_sample()
+        )

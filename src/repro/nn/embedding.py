@@ -1,0 +1,182 @@
+"""Embedding tables and collections (the sparse component).
+
+An :class:`EmbeddingTable` converts integer ids into dense vectors with
+sum pooling over the hotness axis; an :class:`EmbeddingBagCollection`
+owns one table per sparse feature — the unsharded counterpart of the
+model-parallel layout that :mod:`repro.core` distributes across ranks.
+
+Lookup is modeled as memory traffic, not flops (the paper's
+MFlops/sample numbers cover the dense arch); ``bytes_per_sample`` feeds
+the iteration latency model's HBM term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.init import uniform_embedding_init
+from repro.nn.module import Module, Parameter
+
+
+@dataclass(frozen=True)
+class TableConfig:
+    """Configuration of one embedding table.
+
+    Attributes
+    ----------
+    name:
+        Feature name (also the table's identity in sharding plans).
+    num_embeddings:
+        Row count (hash-space cardinality).
+    dim:
+        Embedding dimension ``N``; the paper's open-source models use
+        a global N=128.
+    pooling:
+        Multi-hot pooling factor: ids per sample for this feature.
+    """
+
+    name: str
+    num_embeddings: int
+    dim: int
+    pooling: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_embeddings <= 0:
+            raise ValueError(f"{self.name}: num_embeddings must be > 0")
+        if self.dim <= 0:
+            raise ValueError(f"{self.name}: dim must be > 0")
+        if self.pooling <= 0:
+            raise ValueError(f"{self.name}: pooling must be > 0")
+
+    @property
+    def num_parameters(self) -> int:
+        return self.num_embeddings * self.dim
+
+    def bytes_per_sample(self, itemsize: int = 4) -> int:
+        """HBM bytes touched per sample: pooled rows read (+written in
+        the backward scatter, accounted by the caller)."""
+        return self.pooling * self.dim * itemsize
+
+
+class EmbeddingTable(Module):
+    """One sum-pooled embedding bag.
+
+    Input ids have shape (B,) or (B, pooling); output is (B, dim).
+    """
+
+    def __init__(
+        self,
+        config: TableConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        self.weight = Parameter(
+            uniform_embedding_init(rng, config.num_embeddings, config.dim),
+            name=f"emb.{config.name}",
+        )
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if ids.ndim == 1:
+            ids = ids[:, None]
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be (B,) or (B, pooling), got {ids.shape}")
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.config.num_embeddings:
+            raise IndexError(
+                f"ids out of range [0, {self.config.num_embeddings}) for table "
+                f"{self.config.name}"
+            )
+        self._ids = ids
+        # (B, P, N) gather then sum-pool over P.
+        return self.weight.data[ids].sum(axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        """Scatter-add pooled gradients into the table rows.
+
+        Returns None: ids are integers, there is no upstream gradient.
+        """
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        B, P = self._ids.shape
+        if grad_output.shape != (B, self.config.dim):
+            raise ValueError(
+                f"grad shape {grad_output.shape} != ({B}, {self.config.dim})"
+            )
+        grad_table = np.zeros_like(self.weight.data)
+        # Sum pooling: every pooled id receives the full output gradient.
+        flat_ids = self._ids.reshape(-1)
+        np.add.at(grad_table, flat_ids, np.repeat(grad_output, P, axis=0))
+        self.weight.add_grad(grad_table)
+
+    def flops_per_sample(self) -> int:
+        return 0  # memory-bound; see bytes_per_sample
+
+    def bytes_per_sample(self, itemsize: int = 4) -> int:
+        return self.config.bytes_per_sample(itemsize)
+
+
+class EmbeddingBagCollection(Module):
+    """One table per sparse feature; the model-parallel unit of DLRM.
+
+    Input ids: (B, F) single-hot or (B, F, P) multi-hot (uniform P);
+    output: (B, F, N).  All tables must share ``dim`` — the paper's
+    models use a uniform N so embeddings stack into one dense tensor
+    for the interaction arch.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[TableConfig],
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not configs:
+            raise ValueError("collection needs at least one table")
+        dims = {c.dim for c in configs}
+        if len(dims) != 1:
+            raise ValueError(f"all tables must share dim, got {sorted(dims)}")
+        names = [c.name for c in configs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate table names: {names}")
+        rng = rng or np.random.default_rng(0)
+        self.configs = list(configs)
+        self.tables = [EmbeddingTable(c, rng=rng) for c in configs]
+
+    @property
+    def num_features(self) -> int:
+        return len(self.tables)
+
+    @property
+    def dim(self) -> int:
+        return self.configs[0].dim
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if ids.ndim == 2:
+            ids = ids[:, :, None]
+        if ids.ndim != 3 or ids.shape[1] != self.num_features:
+            raise ValueError(
+                f"ids must be (B, {self.num_features}[, P]), got {ids.shape}"
+            )
+        outs = [table(ids[:, f]) for f, table in enumerate(self.tables)]
+        return np.stack(outs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.ndim != 3 or grad_output.shape[1] != self.num_features:
+            raise ValueError(
+                f"grad must be (B, {self.num_features}, N), got {grad_output.shape}"
+            )
+        for f, table in enumerate(self.tables):
+            table.backward(grad_output[:, f])
+
+    def bytes_per_sample(self, itemsize: int = 4) -> int:
+        return sum(t.bytes_per_sample(itemsize) for t in self.tables)
+
+    def flops_per_sample(self) -> int:
+        return 0

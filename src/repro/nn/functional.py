@@ -1,0 +1,38 @@
+"""Numerically stable elementwise functions shared across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable logistic function (no overflow for large |x|)."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """log(sigmoid(x)) computed without intermediate overflow."""
+    return -np.logaddexp(0.0, -x)
+
+
+def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-element binary cross entropy from logits.
+
+    Uses the standard max-form identity
+    ``BCE = max(z, 0) - z*y + log(1 + exp(-|z|))``.
+    """
+    z = np.asarray(logits, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    return np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+
+
+def bce_with_logits_grad(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """d BCE / d logits = sigmoid(z) - y."""
+    return sigmoid(np.asarray(logits, dtype=np.float64)) - np.asarray(
+        targets, dtype=np.float64
+    )

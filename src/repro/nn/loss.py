@@ -1,0 +1,44 @@
+"""Training losses."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class BCEWithLogitsLoss(Module):
+    """Mean binary cross entropy from logits (CTR training loss).
+
+    ``forward(logits, targets)`` returns a scalar; ``backward()``
+    returns d(mean loss)/d(logits).
+    """
+
+    def __init__(self) -> None:
+        self._logits: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        if logits.shape != targets.shape:
+            raise ValueError(
+                f"logits {logits.shape} and targets {targets.shape} mismatch"
+            )
+        if targets.size and (targets.min() < 0 or targets.max() > 1):
+            raise ValueError("targets must lie in [0, 1]")
+        self._logits = logits
+        self._targets = targets
+        return float(F.bce_with_logits(logits, targets).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._logits is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        n = self._logits.size
+        return F.bce_with_logits_grad(self._logits, self._targets) / n
+
+    def flops_per_sample(self) -> int:
+        return 0

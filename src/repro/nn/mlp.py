@@ -1,0 +1,59 @@
+"""Multi-layer perceptron with DLRM conventions."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, Sequential, Sigmoid
+from repro.nn.module import Module
+
+
+class MLP(Module):
+    """Stack of Linear+ReLU blocks, optionally ending in a bare Linear.
+
+    ``sizes`` gives the full layer widths including input, e.g.
+    ``[13, 512, 256, 128]`` builds DLRM's bottom MLP.  When
+    ``final_activation`` is False (DLRM top-MLP convention for the
+    logit layer), the last Linear has no nonlinearity.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+        final_activation: bool = True,
+        name: str = "mlp",
+    ):
+        if len(sizes) < 2:
+            raise ValueError(f"MLP needs at least in/out sizes, got {sizes}")
+        rng = rng or np.random.default_rng(0)
+        layers: List[Module] = []
+        n_affine = len(sizes) - 1
+        for i in range(n_affine):
+            layers.append(
+                Linear(sizes[i], sizes[i + 1], rng=rng, name=f"{name}.{i}")
+            )
+            is_last = i == n_affine - 1
+            if not is_last or final_activation:
+                layers.append(ReLU())
+        self.net = Sequential(layers)
+        self.sizes = list(sizes)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)
+
+    @property
+    def in_features(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.sizes[-1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MLP({self.sizes})"

@@ -1,0 +1,144 @@
+"""Base classes: Parameter and Module."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient.
+
+    Gradients accumulate across ``backward`` calls (PyTorch semantics);
+    optimizers read ``grad`` and the trainer zeroes it between steps.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def add_grad(self, grad: np.ndarray) -> None:
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.astype(np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses register parameters as attributes of type
+    :class:`Parameter` and submodules as attributes of type
+    :class:`Module` (or lists thereof); discovery walks ``__dict__`` in
+    insertion order, which makes parameter ordering deterministic — a
+    property the distributed trainer relies on when flattening
+    gradients for AllReduce.
+    """
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def backward(self, grad_output):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            path = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{path}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar count (Table 4 'Parameters' column)."""
+        return sum(p.size for p in self.parameters())
+
+    def flops_per_sample(self) -> int:
+        """Forward multiply-add flops for one sample (2 flops per MAC).
+
+        Defaults to the sum over direct submodules; leaves override.
+        """
+        total = 0
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                total += value.flops_per_sample()
+            elif isinstance(value, (list, tuple)):
+                total += sum(
+                    m.flops_per_sample() for m in value if isinstance(m, Module)
+                )
+        return total
+
+    # ------------------------------------------------------------------
+    # State dict (deterministic save/load for experiment repeatability)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(unexpected)}"
+            )
+        for name, p in own.items():
+            if state[name].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{state[name].shape} vs {p.data.shape}"
+                )
+            p.data = state[name].astype(np.float64, copy=True)

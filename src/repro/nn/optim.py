@@ -1,0 +1,146 @@
+"""Optimizers: SGD, Adagrad, Adam (the paper trains with Adam, §5.1).
+
+Optimizers hold references to :class:`~repro.nn.module.Parameter`
+objects and update in place from accumulated ``grad`` fields.  State is
+keyed by position, so a given (model init, data order, optimizer
+config) triple is exactly reproducible — the foundation of the 9-seed
+statistics in Tables 4-6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base: tracks parameters and a mutable learning rate."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is not None:
+                self._update(i, p)
+
+    def _update(self, index: int, param: Parameter) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float, momentum: float = 0.0
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter) -> None:
+        g = param.grad
+        if self.momentum > 0.0:
+            v = self._velocity.get(index)
+            v = g.copy() if v is None else self.momentum * v + g
+            self._velocity[index] = v
+            g = v
+        param.data -= self.lr * g
+
+
+class Adagrad(Optimizer):
+    """Adagrad — the classic choice for DLRM embedding tables."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float, eps: float = 1e-10
+    ):
+        super().__init__(params, lr)
+        self.eps = eps
+        self._accum: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter) -> None:
+        g = param.grad
+        acc = self._accum.get(index)
+        if acc is None:
+            acc = np.zeros_like(param.data)
+            self._accum[index] = acc
+        acc += g * g
+        param.data -= self.lr * g / (np.sqrt(acc) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float,
+        betas: "tuple[float, float]" = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Parameter) -> None:
+        b1, b2 = self.betas
+        g = param.grad
+        m = self._m.setdefault(index, np.zeros_like(param.data))
+        v = self._v.setdefault(index, np.zeros_like(param.data))
+        m *= b1
+        m += (1 - b1) * g
+        v *= b2
+        v += (1 - b2) * g * g
+        mhat = m / (1 - b1**self.step_count)
+        vhat = v / (1 - b2**self.step_count)
+        param.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+class WarmupDecaySchedule:
+    """Linear warmup to ``peak_lr`` then inverse-sqrt decay.
+
+    The "tuned learning rate schedule" that turns the paper's stock
+    TorchRec baseline into the Strong Baseline (Table 2).
+    """
+
+    def __init__(
+        self, peak_lr: float, warmup_steps: int, decay_start: Optional[int] = None
+    ):
+        if peak_lr <= 0 or warmup_steps < 0:
+            raise ValueError("peak_lr must be > 0 and warmup_steps >= 0")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.decay_start = decay_start if decay_start is not None else warmup_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        if step <= self.decay_start:
+            return self.peak_lr
+        return self.peak_lr * np.sqrt(self.decay_start / step)
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self.lr_at(step)
+        optimizer.lr = lr
+        return lr

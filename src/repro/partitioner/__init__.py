@@ -1,0 +1,42 @@
+"""Tower Partitioner (TP) — learned, balanced feature partitioning (§3.3).
+
+Pipeline:
+
+1. :mod:`repro.partitioner.interaction_probe` — measure the feature
+   interaction matrix ``I(i,j) = |cos(F_i, F_j)|`` from a trained
+   model's embedding activations.
+2. :mod:`repro.partitioner.mds` — convert ``I`` to a distance matrix
+   (``diverse``: f(I)=I, ``coherent``: f(I)=1-I) and embed features in
+   a low-dimensional Euclidean space by gradient-descent stress
+   minimization.
+3. :mod:`repro.partitioner.constrained_kmeans` — Bradley-Bennett-
+   Demiriz constrained K-Means over the embedded coordinates for
+   balanced groups.
+
+:class:`~repro.partitioner.tower_partitioner.TowerPartitioner` wires
+the three; the naive strided baseline of Table 6 is
+:meth:`repro.core.partition.FeaturePartition.strided`.
+"""
+
+from repro.partitioner.interaction_probe import (
+    feature_interaction_matrix,
+    interaction_from_activations,
+)
+from repro.partitioner.mds import MDSResult, mds_embed
+from repro.partitioner.constrained_kmeans import ConstrainedKMeans
+from repro.partitioner.tower_partitioner import (
+    PartitionStrategy,
+    TowerPartitioner,
+    TPResult,
+)
+
+__all__ = [
+    "feature_interaction_matrix",
+    "interaction_from_activations",
+    "mds_embed",
+    "MDSResult",
+    "ConstrainedKMeans",
+    "TowerPartitioner",
+    "TPResult",
+    "PartitionStrategy",
+]

@@ -1,0 +1,107 @@
+"""Per-paradigm calibration constants for the iteration latency model.
+
+Every tuned number in the performance reproduction lives in this file,
+with its provenance.  Three kinds of constants:
+
+1. **Dense utilization** per GPU generation: achieved fraction of the
+   Table 1 peak on recommendation dense arches, training in fp32.
+   Anchored on Figure 13: DCN's measured 29.4 ms compute at 64xH100
+   with local batch 16K and 32.6 MF/sample forward (3x for fwd+bwd)
+   implies ~55 TF/s effective — 6% of the 989 TF/s fp16-tensor peak,
+   but ~80% of the H100's fp32 CUDA-core rate, which is exactly what
+   fp32 recommendation kernels achieve.  V100's Table 1 number *is*
+   its fp32 peak, hence its much higher utilization (0.50); the spread
+   encodes Table 1's compute:memory divergence and produces Figure
+   10's generation ordering.  Final values fitted jointly against
+   Figures 10-13 (fit script provenance: mean |log error| ~ 0.14).
+2. **Overlap fractions**: how much of each communication family hides
+   under compute.  The baseline's global AlltoAll is a synchronization
+   point in the middle of the iteration (the top arch needs *all*
+   embeddings), so TorchRec's pipelining hides little of it — Figure 13
+   shows 11.5 ms exposed of ~13.5 ms modeled total (overlap ~0.15).
+   DMT's peer AlltoAlls are per-tower and can pipeline against other
+   towers' TM compute and the intra-host leg; Figure 13's 2.5 ms
+   exposed of ~11 ms total implies overlap ~0.75.
+3. **Fixed per-iteration overhead** ("Others" in Figures 1/13: data
+   ingestion, optimizer, kernel launches): ~1.2 ms on H100 per
+   Figure 13, scaled up modestly for older hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hardware.specs import GPUGeneration
+
+
+@dataclass(frozen=True)
+class PerfCalibration:
+    """Calibrated constants; see module docstring for provenance."""
+
+    dense_utilization: Dict[GPUGeneration, float] = field(
+        default_factory=lambda: {
+            GPUGeneration.V100: 0.50,
+            GPUGeneration.A100: 0.085,
+            GPUGeneration.H100: 0.060,
+        }
+    )
+    overlap_hybrid: float = 0.22
+    overlap_dmt: float = 0.80
+    #: Ceiling on the tower-count overlap ramp (see dmt_overlap_at).
+    overlap_cap: float = 0.65
+    allreduce_overlap: float = 0.70
+    #: DMT's compute runs on fragmented per-tower kernels, achieving a
+    #: lower fraction of peak than the monolithic baseline GEMMs (the
+    #: reason the paper's small-scale DMT speedups dip below 1.0).
+    dmt_compute_efficiency: float = 0.80
+    #: Extra fixed per-iteration DMT overhead (more kernel launches,
+    #: pipeline stages), in ms per generation-independent iteration.
+    dmt_extra_ms: float = 1.0
+    other_ms: Dict[GPUGeneration, float] = field(
+        default_factory=lambda: {
+            GPUGeneration.V100: 2.5,
+            GPUGeneration.A100: 1.6,
+            GPUGeneration.H100: 1.2,
+        }
+    )
+    emb_wire_itemsize: int = 4  # fp32 embedding payloads (Figure 5 setup)
+    id_wire_bytes: int = 8  # int64 sparse ids
+
+    def __post_init__(self) -> None:
+        for name, frac in (
+            ("overlap_hybrid", self.overlap_hybrid),
+            ("overlap_dmt", self.overlap_dmt),
+            ("allreduce_overlap", self.allreduce_overlap),
+        ):
+            if not 0.0 <= frac < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {frac}")
+        for gen, util in self.dense_utilization.items():
+            if not 0.0 < util <= 1.0:
+                raise ValueError(f"utilization for {gen} must be in (0, 1]")
+        if not 0.0 < self.dmt_compute_efficiency <= 1.0:
+            raise ValueError("dmt_compute_efficiency must be in (0, 1]")
+        if self.dmt_extra_ms < 0:
+            raise ValueError("dmt_extra_ms must be >= 0")
+
+    def dmt_overlap_at(self, num_towers: int) -> float:
+        """Effective DMT communication overlap for a tower count.
+
+        Per-tower pipelining can hide at most (T - 2)/T of the peer
+        exchange (the first tower's output cannot overlap with prior TM
+        compute, the last tower's backward cannot overlap either), so
+        the overlap budget scales with tower count — at T=2 almost
+        nothing hides, reproducing the paper's sub-1.0 speedups on two
+        hosts.
+        """
+        if num_towers <= 0:
+            raise ValueError("num_towers must be positive")
+        return min(
+            self.overlap_dmt * max(0.0, 1.0 - 2.0 / num_towers),
+            self.overlap_cap,
+        )
+
+
+def default_perf_calibration() -> PerfCalibration:
+    """The constants every experiment in this repository uses."""
+    return PerfCalibration()

@@ -1,0 +1,225 @@
+"""Specialized SPTT variants (§3.1.3) in the iteration latency model.
+
+The paper lists four specializations of the base transform:
+
+1. **K-host towers**: a tower may span ``K`` hosts (``G % K == 0``),
+   trading a further-reduced peer-AlltoAll world (``H/K``) against a
+   more expensive step (d) (it now crosses hosts within the K-host
+   group).
+2. **Row-wise sharding for multi-hot features**: step (d) becomes a
+   ReduceScatter of partial pooled sums instead of an AlltoAll.
+3. **Swapping steps (b) and (c)**: permute whichever object is smaller
+   — the sparse ids or the looked-up embeddings.
+4. **Virtual peer-order process groups**: step (c) disappears entirely
+   because ranks are enumerated in peer order from the start.
+
+All four are modeled here as options on top of
+:class:`~repro.perf.iteration_model.IterationLatencyModel`; the K-host
+geometry additionally gets first-class group constructors usable by
+future functional implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.comm.cost_model import CollectiveCostModel
+from repro.comm.process_group import ProcessGroup, global_group
+from repro.hardware.topology import Cluster
+from repro.perf.iteration_model import IterationBreakdown, IterationLatencyModel
+from repro.perf.paradigms import PerfCalibration
+from repro.perf.profiles import ModelProfile
+
+
+@dataclass(frozen=True)
+class SPTTOptions:
+    """Configuration of the specialized transform.
+
+    Attributes
+    ----------
+    hosts_per_tower:
+        ``K`` in §3.1.3; 1 is the canonical one-tower-per-host setup.
+    multi_hot_reducescatter:
+        Use row-wise shards + ReduceScatter for step (d); only
+        meaningful when the profile has pooling > 1.
+    swap_shuffle:
+        Shuffle the smaller of (ids, embeddings) in step (c).
+    virtual_peer_order:
+        Skip step (c) entirely via peer-ordered process groups.
+    """
+
+    hosts_per_tower: int = 1
+    multi_hot_reducescatter: bool = False
+    swap_shuffle: bool = False
+    virtual_peer_order: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hosts_per_tower < 1:
+            raise ValueError(
+                f"hosts_per_tower must be >= 1, got {self.hosts_per_tower}"
+            )
+
+
+def tower_supergroups(cluster: Cluster, hosts_per_tower: int) -> List[ProcessGroup]:
+    """The K-host tower groups: step (d)'s communication domains."""
+    if cluster.num_hosts % hosts_per_tower != 0:
+        raise ValueError(
+            f"{cluster.num_hosts} hosts not divisible by K={hosts_per_tower}"
+        )
+    groups = []
+    for start in range(0, cluster.num_hosts, hosts_per_tower):
+        ranks: List[int] = []
+        for h in range(start, start + hosts_per_tower):
+            ranks.extend(cluster.ranks_on_host(h))
+        groups.append(ProcessGroup(cluster, tuple(ranks)))
+    return groups
+
+
+def khost_peer_groups(cluster: Cluster, hosts_per_tower: int) -> List[ProcessGroup]:
+    """Peer groups for K-host towers: one member per tower, same
+    position within its supergroup; world size ``H / K``."""
+    supers = tower_supergroups(cluster, hosts_per_tower)
+    width = hosts_per_tower * cluster.gpus_per_host
+    return [
+        ProcessGroup(cluster, tuple(sg.ranks[pos] for sg in supers))
+        for pos in range(width)
+    ]
+
+
+class SpecializedSPTTModel:
+    """Prices DMT iterations under §3.1.3 specializations.
+
+    Wraps :class:`IterationLatencyModel`, recomputing the embedding
+    communication legs for the chosen options.
+
+    >>> from repro.perf.profiles import dmt_dlrm_profile
+    >>> from repro.hardware import Cluster
+    >>> m = SpecializedSPTTModel()
+    >>> cluster = Cluster(num_hosts=8, gpus_per_host=8, generation="A100")
+    >>> bd = m.dmt(dmt_dlrm_profile(4), cluster, 16384,
+    ...            SPTTOptions(hosts_per_tower=2))
+    >>> bd.total_s > 0
+    True
+    """
+
+    def __init__(
+        self,
+        calibration: Optional[PerfCalibration] = None,
+        cost_model: Optional[CollectiveCostModel] = None,
+    ):
+        self.base = IterationLatencyModel(calibration, cost_model)
+        self.cal = self.base.cal
+        self.cost = self.base.cost
+
+    def dmt(
+        self,
+        profile: ModelProfile,
+        cluster: Cluster,
+        local_batch: int,
+        options: Optional[SPTTOptions] = None,
+    ) -> IterationBreakdown:
+        options = options or SPTTOptions()
+        K = options.hosts_per_tower
+        if K == 1 and not (
+            options.multi_hot_reducescatter
+            or options.swap_shuffle
+            or options.virtual_peer_order
+        ):
+            return self.base.dmt(profile, cluster, local_batch)
+        if cluster.num_hosts % K != 0:
+            raise ValueError(
+                f"{cluster.num_hosts} hosts not divisible by K={K}"
+            )
+        num_towers = cluster.num_hosts // K
+        if profile.num_towers != num_towers:
+            raise ValueError(
+                f"profile has {profile.num_towers} towers; K={K} on "
+                f"{cluster.num_hosts} hosts needs {num_towers}"
+            )
+        spec = cluster.spec
+        S_emb = local_batch * profile.emb_bytes_per_sample(
+            self.cal.emb_wire_itemsize
+        )
+        S_peer = int(S_emb / profile.compression_ratio)
+        S_ids = (
+            local_batch
+            * profile.num_sparse
+            * profile.pooling
+            * self.cal.id_wire_bytes
+        )
+
+        # Step (a): unchanged global id distribution.
+        t_in = self.cost.alltoall(global_group(cluster), S_ids).seconds
+
+        # Step (d): within the K-host supergroup.
+        supergroup = tower_supergroups(cluster, K)[0]
+        if options.multi_hot_reducescatter and profile.pooling > 1:
+            t_d = self.cost.reducescatter(supergroup, S_emb).seconds
+        else:
+            t_d = self.cost.alltoall(supergroup, S_emb).seconds
+
+        # Step (f): peer AlltoAll in a world of H/K.
+        peer_group = khost_peer_groups(cluster, K)[0]
+        t_f = self.cost.alltoall(peer_group, S_peer).seconds
+
+        emb_total = t_in + 2.0 * t_d + 2.0 * t_f
+
+        # Shuffles: steps (c) and (e), fwd+bwd.  Virtual peer order
+        # removes (c); swap shuffles the smaller object in (c).
+        shuffle_c = 0.0 if options.virtual_peer_order else (
+            2.0 * min(S_ids, S_emb) / spec.hbm_bytes_per_s
+            if options.swap_shuffle
+            else 2.0 * S_emb / spec.hbm_bytes_per_s
+        )
+        shuffle_e = 2.0 * S_emb / spec.hbm_bytes_per_s
+        shuffles = 2.0 * (shuffle_c + shuffle_e)  # fwd + bwd
+
+        compute = (
+            self.base._lookup_s(profile, cluster, local_batch)
+            + self.base._dense_s(profile.overarch_mflops, cluster, local_batch)
+            + self.base._dense_s(profile.tower_mflops, cluster, local_batch)
+            / self.cal.dmt_compute_efficiency
+            + shuffles
+        )
+
+        world = global_group(cluster)
+        ar = self.cost.allreduce(world, profile.dense_param_bytes).seconds
+        if profile.tower_param_bytes > 0 and len(supergroup) > 1:
+            per_tower = profile.tower_param_bytes // max(profile.num_towers, 1)
+            ar += self.cost.allreduce(supergroup, per_tower).seconds
+        overlap = self.cal.dmt_overlap_at(profile.num_towers)
+        return IterationBreakdown(
+            name=f"dmt-K{K}/{profile.name}",
+            compute_s=compute,
+            exposed_emb_s=emb_total * (1.0 - overlap),
+            exposed_dense_s=ar * (1.0 - self.cal.allreduce_overlap),
+            other_s=self.base._other_s(cluster) + self.cal.dmt_extra_ms * 1e-3,
+            emb_comm_total_s=emb_total,
+            dense_sync_total_s=ar,
+        )
+
+    def khost_sweep(
+        self,
+        profile_factory,
+        cluster: Cluster,
+        local_batch: int,
+        k_values: "tuple[int, ...]" = (1, 2, 4),
+    ) -> "dict[int, IterationBreakdown]":
+        """The §3.1.3 trade-off: peer-world reduction vs step-d cost.
+
+        ``profile_factory(num_towers)`` must return a profile matching
+        the tower count implied by each K.
+        """
+        out = {}
+        for k in k_values:
+            if cluster.num_hosts % k != 0:
+                continue
+            towers = cluster.num_hosts // k
+            out[k] = self.dmt(
+                profile_factory(towers),
+                cluster,
+                local_batch,
+                SPTTOptions(hosts_per_tower=k),
+            )
+        return out

@@ -1,0 +1,27 @@
+"""Embedding sharding: types, an auto-planner, and a balance-only baseline.
+
+Mirrors the TorchRec machinery the paper builds on (§4 "Embedding Table
+Sharding"): table-wise / column-wise / row-wise placement, an
+auto-planner that balances storage and traffic (with the §5.1 manual
+column-wise factor when GPUs outnumber tables), and a NeuroShard-style
+perfectly-balanced baseline used to demonstrate §2.4's negative result
+— balance alone cannot fix global-AlltoAll latency.
+"""
+
+from repro.planner.sharding import (
+    ShardingType,
+    TableShard,
+    ShardingPlan,
+)
+from repro.planner.planner import AutoPlanner, PlannerConfig
+from repro.planner.neuroshard import balanced_plan, balance_analysis
+
+__all__ = [
+    "ShardingType",
+    "TableShard",
+    "ShardingPlan",
+    "AutoPlanner",
+    "PlannerConfig",
+    "balanced_plan",
+    "balance_analysis",
+]

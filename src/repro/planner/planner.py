@@ -1,0 +1,166 @@
+"""Auto-planner: choose sharding types and placements (TorchRec-style).
+
+Strategy (mirroring §4 and the §5.1 Strong Baseline setup):
+
+1. Pick a sharding type per table: multi-hot tables go row-wise,
+   single-hot tables go column-wise when a column factor is requested
+   (or when GPUs outnumber tables — "we manually include a column-wise
+   sharding factor ... so TorchRec can tap into the collective
+   bandwidth of the whole cluster"), else table-wise.
+2. Greedy longest-processing-time placement of the resulting shards
+   onto ranks by load (storage + per-sample output traffic), the
+   classic balance heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.nn.embedding import TableConfig
+from repro.planner.sharding import ShardingPlan, ShardingType, TableShard
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner knobs.
+
+    Attributes
+    ----------
+    column_factor:
+        Split single-hot tables into this many column shards; ``None``
+        auto-selects ceil(world / num_tables) so shards >= ranks.
+    multi_hot_row_wise:
+        Route pooling>1 tables to row-wise shards (§4 rule).
+    storage_weight / traffic_weight:
+        Load metric combination for placement.
+    """
+
+    column_factor: Optional[int] = None
+    multi_hot_row_wise: bool = True
+    storage_weight: float = 1.0
+    traffic_weight: float = 1e6  # traffic dominates placement decisions
+
+    def __post_init__(self) -> None:
+        if self.column_factor is not None and self.column_factor < 1:
+            raise ValueError(
+                f"column_factor must be >= 1, got {self.column_factor}"
+            )
+
+
+class AutoPlanner:
+    """Greedy cost-based embedding sharding planner."""
+
+    def __init__(self, world_size: int, config: Optional[PlannerConfig] = None):
+        if world_size <= 0:
+            raise ValueError(f"world_size must be positive, got {world_size}")
+        self.world_size = world_size
+        self.config = config or PlannerConfig()
+
+    # ------------------------------------------------------------------
+    def choose_sharding(self, table: TableConfig) -> ShardingType:
+        if self.config.multi_hot_row_wise and table.pooling > 1:
+            return ShardingType.ROW_WISE
+        factor = self._column_factor()
+        if factor > 1 and table.dim >= factor:
+            return ShardingType.COLUMN_WISE
+        return ShardingType.TABLE_WISE
+
+    def _column_factor(self) -> int:
+        if self.config.column_factor is not None:
+            return self.config.column_factor
+        return 1
+
+    def _split(self, table: TableConfig) -> List[dict]:
+        """Fragment a table into placement units (rank unassigned)."""
+        kind = self.choose_sharding(table)
+        if kind is ShardingType.TABLE_WISE:
+            return [
+                dict(
+                    sharding=kind,
+                    row_start=0,
+                    row_end=table.num_embeddings,
+                    col_start=0,
+                    col_end=table.dim,
+                )
+            ]
+        if kind is ShardingType.COLUMN_WISE:
+            factor = min(self._column_factor(), table.dim)
+            bounds = [
+                round(i * table.dim / factor) for i in range(factor + 1)
+            ]
+            return [
+                dict(
+                    sharding=kind,
+                    row_start=0,
+                    row_end=table.num_embeddings,
+                    col_start=bounds[i],
+                    col_end=bounds[i + 1],
+                )
+                for i in range(factor)
+                if bounds[i + 1] > bounds[i]
+            ]
+        # ROW_WISE: one shard per rank.
+        n = min(self.world_size, table.num_embeddings)
+        bounds = [round(i * table.num_embeddings / n) for i in range(n + 1)]
+        return [
+            dict(
+                sharding=kind,
+                row_start=bounds[i],
+                row_end=bounds[i + 1],
+                col_start=0,
+                col_end=table.dim,
+            )
+            for i in range(n)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    def _load(self, table: TableConfig, frag: dict) -> float:
+        rows = frag["row_end"] - frag["row_start"]
+        cols = frag["col_end"] - frag["col_start"]
+        storage = rows * cols * 4
+        if frag["sharding"] is ShardingType.ROW_WISE:
+            traffic = table.dim * 4
+        else:
+            traffic = cols * 4
+        return (
+            self.config.storage_weight * storage
+            + self.config.traffic_weight * traffic
+        )
+
+    def plan(self, tables: Sequence[TableConfig]) -> ShardingPlan:
+        """Shard and place all tables; returns a validated plan."""
+        if not tables:
+            raise ValueError("no tables to plan")
+        fragments = [
+            (table, frag) for table in tables for frag in self._split(table)
+        ]
+        # Longest-processing-time greedy: biggest loads first onto the
+        # currently least-loaded rank.
+        fragments.sort(key=lambda tf: -self._load(*tf))
+        loads = [0.0] * self.world_size
+        plan = ShardingPlan(world_size=self.world_size)
+        row_wise_cursor = 0  # spread row-wise shards deterministically
+        for table, frag in fragments:
+            if frag["sharding"] is ShardingType.ROW_WISE:
+                rank = row_wise_cursor % self.world_size
+                row_wise_cursor += 1
+            else:
+                rank = min(range(self.world_size), key=loads.__getitem__)
+            plan.add(TableShard(table=table, rank=rank, **frag))
+            loads[rank] += self._load(table, frag)
+        plan.validate_coverage(tables)
+        return plan
+
+    def table_wise_plan(self, tables: Sequence[TableConfig]) -> List[int]:
+        """Flat owner list (feature -> rank) for the exchange pipelines."""
+        plan = AutoPlanner(
+            self.world_size,
+            PlannerConfig(column_factor=1, multi_hot_row_wise=False),
+        ).plan(tables)
+        owners = []
+        for t in tables:
+            shards = plan.shards_of(t.name)
+            assert len(shards) == 1
+            owners.append(shards[0].rank)
+        return owners

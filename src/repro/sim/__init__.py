@@ -1,0 +1,13 @@
+"""Simulated multi-GPU execution: per-rank state plus a priced timeline.
+
+:class:`~repro.sim.cluster.SimCluster` executes functional collectives
+(real numpy data movement) while simultaneously recording what each
+step would cost on the modeled hardware.  Pipelines built on it (the
+flat baseline and SPTT) therefore yield *both* bit-exact outputs and
+per-phase latency breakdowns from a single code path.
+"""
+
+from repro.sim.cluster import SimCluster
+from repro.sim.tracing import Phase, Timeline, TraceEvent
+
+__all__ = ["SimCluster", "Timeline", "TraceEvent", "Phase"]

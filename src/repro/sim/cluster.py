@@ -1,0 +1,259 @@
+"""SimCluster: functional collectives priced onto a timeline.
+
+The simulated cluster is the execution substrate for the embedding
+pipelines in :mod:`repro.core`.  Each collective call both *moves the
+data* (delegating to :mod:`repro.comm.functional`) and *prices the
+move* (delegating to :class:`~repro.comm.cost_model.CollectiveCostModel`),
+appending to a :class:`~repro.sim.tracing.Timeline`.
+
+Concurrency convention: collectives over *disjoint* groups that execute
+in the same logical step (e.g. SPTT's ``L`` peer AlltoAlls) should be
+priced as one parallel step — use :meth:`SimCluster.alltoall_concurrent`
+which records ``max`` over groups rather than the sum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.comm import functional as F
+from repro.comm.cost_model import CollectiveCostModel
+from repro.comm.process_group import (
+    ProcessGroup,
+    global_group,
+    intra_host_groups,
+    peer_groups,
+)
+from repro.hardware.topology import Cluster
+from repro.sim.tracing import Phase, Timeline
+
+
+class SimCluster:
+    """A cluster plus the machinery to execute and price collectives.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware topology (hosts, GPUs, link speeds).
+    cost_model:
+        Collective pricing; defaults to the Figure 5-calibrated model.
+    timeline:
+        Destination for priced events; a fresh one is created if absent.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.hardware import Cluster
+    >>> sim = SimCluster(Cluster(num_hosts=2, gpus_per_host=2))
+    >>> out = sim.allreduce(sim.world, {r: np.ones(4) for r in range(4)},
+    ...                     phase=Phase.DENSE_SYNC, label="grads")
+    >>> float(out[0][0])
+    4.0
+    >>> len(sim.timeline)
+    1
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_model: Optional[CollectiveCostModel] = None,
+        timeline: Optional[Timeline] = None,
+    ):
+        self.cluster = cluster
+        self.cost_model = cost_model or CollectiveCostModel()
+        self.timeline = timeline if timeline is not None else Timeline()
+        self.world = global_group(cluster)
+        self.host_groups = intra_host_groups(cluster)
+        self.peer_groups = peer_groups(cluster)
+
+    # ------------------------------------------------------------------
+    # Geometry passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    @property
+    def num_hosts(self) -> int:
+        return self.cluster.num_hosts
+
+    @property
+    def gpus_per_host(self) -> int:
+        return self.cluster.gpus_per_host
+
+    def host_group_of(self, rank: int) -> ProcessGroup:
+        return self.host_groups[self.cluster.host_of(rank)]
+
+    def peer_group_of(self, rank: int) -> ProcessGroup:
+        return self.peer_groups[self.cluster.local_rank_of(rank)]
+
+    # ------------------------------------------------------------------
+    # Priced collectives
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _buffer_bytes(buffers: Mapping[int, object]) -> int:
+        """Max per-rank payload size (collectives are sized by the
+        largest participant; uniform in all our pipelines)."""
+        sizes = []
+        for buf in buffers.values():
+            if isinstance(buf, np.ndarray):
+                sizes.append(buf.nbytes)
+            else:  # list-form alltoall
+                sizes.append(sum(np.asarray(b).nbytes for b in buf))
+        return max(sizes) if sizes else 0
+
+    def alltoall(
+        self,
+        group: ProcessGroup,
+        buffers: Mapping[int, Sequence[np.ndarray]],
+        phase: Phase,
+        label: str,
+    ) -> Dict[int, List[np.ndarray]]:
+        nbytes = self._buffer_bytes(buffers)
+        timing = self.cost_model.alltoall(group, nbytes)
+        self.timeline.add(phase, label, timing.seconds, nbytes, group.world_size)
+        return F.alltoall(group, buffers)
+
+    def alltoall_single(
+        self,
+        group: ProcessGroup,
+        buffers: Mapping[int, np.ndarray],
+        phase: Phase,
+        label: str,
+        axis: int = 0,
+    ) -> Dict[int, np.ndarray]:
+        nbytes = self._buffer_bytes(buffers)
+        timing = self.cost_model.alltoall(group, nbytes)
+        self.timeline.add(phase, label, timing.seconds, nbytes, group.world_size)
+        return F.alltoall_single(group, buffers, axis=axis)
+
+    def alltoall_concurrent(
+        self,
+        groups: Sequence[ProcessGroup],
+        buffers: Mapping[int, Sequence[np.ndarray]],
+        phase: Phase,
+        label: str,
+    ) -> Dict[int, List[np.ndarray]]:
+        """AlltoAll over several *disjoint* groups as one parallel step.
+
+        Data moves within each group independently; the timeline records
+        the slowest group (they share no ranks, so they overlap — the
+        SPTT step (f) pattern of ``L`` concurrent peer AlltoAlls).
+        """
+        ranks_seen: set = set()
+        for g in groups:
+            overlap = ranks_seen & set(g.ranks)
+            if overlap:
+                raise ValueError(
+                    f"concurrent alltoall groups must be disjoint; ranks "
+                    f"{sorted(overlap)} appear twice"
+                )
+            ranks_seen |= set(g.ranks)
+        out: Dict[int, List[np.ndarray]] = {}
+        worst = 0.0
+        worst_bytes = 0
+        for g in groups:
+            sub = {r: buffers[r] for r in g.ranks}
+            nbytes = self._buffer_bytes(sub)
+            timing = self.cost_model.alltoall(g, nbytes)
+            worst = max(worst, timing.seconds)
+            worst_bytes = max(worst_bytes, nbytes)
+            out.update(F.alltoall(g, sub))
+        # nbytes is per-rank buffer size (the same convention as the
+        # plain collectives), maxed over the concurrent groups.
+        self.timeline.add(
+            phase,
+            label,
+            worst,
+            worst_bytes,
+            max((g.world_size for g in groups), default=1),
+        )
+        return out
+
+    def allreduce(
+        self,
+        group: ProcessGroup,
+        buffers: Mapping[int, np.ndarray],
+        phase: Phase,
+        label: str,
+    ) -> Dict[int, np.ndarray]:
+        nbytes = self._buffer_bytes(buffers)
+        timing = self.cost_model.allreduce(group, nbytes)
+        self.timeline.add(phase, label, timing.seconds, nbytes, group.world_size)
+        return F.allreduce(group, buffers)
+
+    def allreduce_concurrent(
+        self,
+        groups: Sequence[ProcessGroup],
+        buffers: Mapping[int, np.ndarray],
+        phase: Phase,
+        label: str,
+    ) -> Dict[int, np.ndarray]:
+        """AllReduce over disjoint groups as one parallel step (tower
+        module gradient sync: one NVLink AllReduce per host)."""
+        out: Dict[int, np.ndarray] = {}
+        worst = 0.0
+        worst_bytes = 0
+        for g in groups:
+            sub = {r: buffers[r] for r in g.ranks}
+            nbytes = self._buffer_bytes(sub)
+            timing = self.cost_model.allreduce(g, nbytes)
+            worst = max(worst, timing.seconds)
+            worst_bytes = max(worst_bytes, nbytes)
+            out.update(F.allreduce(g, sub))
+        self.timeline.add(
+            phase,
+            label,
+            worst,
+            worst_bytes,
+            max((g.world_size for g in groups), default=1),
+        )
+        return out
+
+    def reducescatter(
+        self,
+        group: ProcessGroup,
+        buffers: Mapping[int, np.ndarray],
+        phase: Phase,
+        label: str,
+        axis: int = 0,
+    ) -> Dict[int, np.ndarray]:
+        nbytes = self._buffer_bytes(buffers)
+        timing = self.cost_model.reducescatter(group, nbytes)
+        self.timeline.add(phase, label, timing.seconds, nbytes, group.world_size)
+        return F.reducescatter(group, buffers, axis=axis)
+
+    def allgather(
+        self,
+        group: ProcessGroup,
+        buffers: Mapping[int, np.ndarray],
+        phase: Phase,
+        label: str,
+        axis: int = 0,
+    ) -> Dict[int, np.ndarray]:
+        gathered = F.allgather(group, buffers, axis=axis)
+        nbytes = self._buffer_bytes(gathered)
+        timing = self.cost_model.allgather(group, nbytes)
+        self.timeline.add(phase, label, timing.seconds, nbytes, group.world_size)
+        return gathered
+
+    # ------------------------------------------------------------------
+    # Local (per-rank) priced operations
+    # ------------------------------------------------------------------
+    def shuffle(self, nbytes_per_rank: int, label: str) -> None:
+        """Record an on-device data shuffle (SPTT steps c/e).
+
+        All ranks shuffle concurrently, so one event of the per-rank
+        duration is recorded.
+        """
+        seconds = self.cost_model.device_shuffle(self.world, nbytes_per_rank)
+        self.timeline.add(Phase.SHUFFLE, label, seconds, nbytes_per_rank, 1)
+
+    def compute(self, seconds: float, label: str, flops: int = 0) -> None:
+        """Record a compute block executing concurrently on every rank."""
+        self.timeline.add(Phase.COMPUTE, label, seconds, 0, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimCluster({self.cluster!r}, events={len(self.timeline)})"

@@ -1,0 +1,119 @@
+"""Timeline accounting for simulated execution.
+
+Every priced operation (collective, shuffle, compute block) appends a
+:class:`TraceEvent`; :class:`Timeline` aggregates them into the
+per-phase breakdowns that Figures 1 and 13 report.
+
+Phases mirror the paper's terminology: the embedding-communication
+bucket covers AlltoAll traffic of the lookup process (steps a/c of
+Figure 4 or a/d/f of Figure 7), dense synchronization covers gradient
+AllReduce, and compute covers lookups, dense forward/backward, and the
+SPTT data shuffles (which the paper counts as overhead *inside* the
+transform, not as communication).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Phase(enum.Enum):
+    """Latency attribution buckets used across the evaluation."""
+
+    COMPUTE = "compute"
+    EMBEDDING_COMM = "embedding_comm"
+    DENSE_SYNC = "dense_sync"
+    SHUFFLE = "shuffle"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One priced operation on the simulated cluster."""
+
+    phase: Phase
+    label: str
+    seconds: float
+    nbytes: int = 0
+    world_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"event duration must be >= 0, got {self.seconds}")
+
+
+@dataclass
+class Timeline:
+    """Ordered log of priced events with aggregation helpers."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        phase: Phase,
+        label: str,
+        seconds: float,
+        nbytes: int = 0,
+        world_size: int = 1,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            phase=phase,
+            label=label,
+            seconds=seconds,
+            nbytes=nbytes,
+            world_size=world_size,
+        )
+        self.events.append(event)
+        return event
+
+    def extend(self, other: "Timeline") -> None:
+        self.events.extend(other.events)
+
+    def total(self, phase: Optional[Phase] = None) -> float:
+        """Total seconds, optionally restricted to one phase."""
+        return sum(
+            e.seconds for e in self.events if phase is None or e.phase is phase
+        )
+
+    def breakdown(self) -> Dict[Phase, float]:
+        """Seconds per phase (phases with no events are absent)."""
+        out: Dict[Phase, float] = {}
+        for e in self.events:
+            out[e.phase] = out.get(e.phase, 0.0) + e.seconds
+        return out
+
+    def percentages(self) -> Dict[Phase, float]:
+        """Phase shares in percent (the format of Figure 1)."""
+        total = self.total()
+        if total == 0:
+            return {}
+        return {p: 100.0 * s / total for p, s in self.breakdown().items()}
+
+    def bytes_by_phase(self) -> Dict[Phase, int]:
+        out: Dict[Phase, int] = {}
+        for e in self.events:
+            out[e.phase] = out.get(e.phase, 0) + e.nbytes
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format_table(self) -> str:
+        """Human-readable per-phase summary (used by examples)."""
+        rows = [f"{'phase':<16} {'ms':>10} {'share':>8}"]
+        total = self.total()
+        for phase, seconds in sorted(
+            self.breakdown().items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * seconds / total if total else 0.0
+            rows.append(f"{phase.value:<16} {seconds * 1e3:>10.3f} {share:>7.1f}%")
+        rows.append(f"{'total':<16} {total * 1e3:>10.3f} {100.0:>7.1f}%")
+        return "\n".join(rows)

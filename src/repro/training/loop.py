@@ -1,0 +1,161 @@
+"""Single-process training loop used by every quality experiment.
+
+One :class:`Trainer` wraps a model with separate dense and sparse
+optimizers (Adam for the dense arch — the paper's §5.1 choice — and
+Adagrad for embedding tables, the standard DLRM recipe), an optional
+warmup/decay schedule (the "Strong Baseline" ingredient of Table 2),
+and deterministic epoch iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.loader import BatchIterator
+from repro.nn.loss import BCEWithLogitsLoss
+from repro.nn.optim import Adagrad, Adam, Optimizer, SGD, WarmupDecaySchedule
+from repro.training.metrics import auc, log_loss, normalized_entropy
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters for one training run."""
+
+    batch_size: int = 256
+    epochs: int = 1
+    dense_lr: float = 1e-3
+    sparse_lr: float = 0.03
+    dense_optimizer: str = "adam"  # "adam" | "sgd"
+    warmup_steps: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0 or self.epochs <= 0:
+            raise ValueError("batch_size and epochs must be positive")
+        if self.dense_lr <= 0 or self.sparse_lr <= 0:
+            raise ValueError("learning rates must be positive")
+        if self.dense_optimizer not in ("adam", "sgd"):
+            raise ValueError(
+                f"unknown dense optimizer {self.dense_optimizer!r}"
+            )
+
+
+@dataclass
+class EvalResult:
+    """Evaluation metrics on a held-out set."""
+
+    auc: float
+    log_loss: float
+    normalized_entropy: float
+    num_samples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AUC={self.auc:.4f} LogLoss={self.log_loss:.4f} "
+            f"NE={self.normalized_entropy:.4f} (n={self.num_samples})"
+        )
+
+
+class Trainer:
+    """Train/evaluate a recommendation model on in-memory data.
+
+    The model must expose ``dense_parameters()``, ``sparse_parameters()``,
+    ``forward(dense, ids)`` and ``backward(grad_logits)`` — all of DLRM,
+    DCN, and the DMT variants do.  Models with tower modules
+    additionally expose ``tower_parameters()``, folded into the dense
+    optimizer (single-process training syncs nothing).
+    """
+
+    def __init__(self, model, config: TrainConfig):
+        self.model = model
+        self.config = config
+        dense_params = list(model.dense_parameters())
+        if hasattr(model, "tower_parameters"):
+            dense_params += list(model.tower_parameters())
+        if config.dense_optimizer == "adam":
+            self.dense_opt: Optimizer = Adam(dense_params, lr=config.dense_lr)
+        else:
+            self.dense_opt = SGD(dense_params, lr=config.dense_lr)
+        self.sparse_opt = Adagrad(
+            model.sparse_parameters(), lr=config.sparse_lr
+        )
+        self.schedule = (
+            WarmupDecaySchedule(config.dense_lr, config.warmup_steps)
+            if config.warmup_steps > 0
+            else None
+        )
+        self.loss_module = BCEWithLogitsLoss()
+        self.global_step = 0
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------
+    def train_batch(
+        self, dense: np.ndarray, ids: np.ndarray, labels: np.ndarray
+    ) -> float:
+        if self.schedule is not None:
+            self.schedule.apply(self.dense_opt, self.global_step)
+        self.dense_opt.zero_grad()
+        self.sparse_opt.zero_grad()
+        logits = self.model(dense, ids)
+        loss = self.loss_module(logits, labels)
+        self.model.backward(self.loss_module.backward())
+        self.dense_opt.step()
+        self.sparse_opt.step()
+        self.global_step += 1
+        self.loss_history.append(loss)
+        return loss
+
+    def train_epoch(self, batches: BatchIterator) -> float:
+        """One pass over the data; returns the mean batch loss."""
+        losses = [self.train_batch(*batch) for batch in batches]
+        if not losses:
+            raise ValueError("iterator produced no batches")
+        return float(np.mean(losses))
+
+    def fit(
+        self,
+        dense: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray,
+        on_epoch_end: Optional[Callable[[int, float], None]] = None,
+    ) -> List[float]:
+        """Full training run per the config; returns per-epoch losses."""
+        epoch_losses = []
+        for epoch in range(self.config.epochs):
+            batches = BatchIterator(
+                dense,
+                ids,
+                labels,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed + epoch,
+            )
+            loss = self.train_epoch(batches)
+            epoch_losses.append(loss)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, loss)
+        return epoch_losses
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        dense: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 4096,
+    ) -> EvalResult:
+        """Metrics on held-out data (batched to bound memory)."""
+        logits = np.concatenate(
+            [
+                self.model(dense[i : i + batch_size], ids[i : i + batch_size])
+                for i in range(0, len(labels), batch_size)
+            ]
+        )
+        return EvalResult(
+            auc=auc(labels, logits),
+            log_loss=log_loss(labels, logits),
+            normalized_entropy=normalized_entropy(labels, logits),
+            num_samples=len(labels),
+        )

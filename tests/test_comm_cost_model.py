@@ -1,0 +1,208 @@
+"""Tests for the collective cost model and its Figure 5 calibration."""
+
+import math
+
+import pytest
+
+from repro.comm import (
+    CollectiveCostModel,
+    FIGURE5_ALLREDUCE_BUS_GBS,
+    FIGURE5_ALLTOALL_BUS_GBS,
+    global_group,
+    intra_host_groups,
+    peer_groups,
+)
+from repro.comm.calibration import (
+    ALLREDUCE_NIC_EFFICIENCY,
+    ALLTOALL_NIC_EFFICIENCY,
+    FIGURE5_ALLREDUCE_BYTES,
+    FIGURE5_ALLTOALL_BYTES,
+    CongestionCurve,
+)
+from repro.comm.cost_model import Bottleneck
+from repro.hardware import Cluster
+
+
+@pytest.fixture
+def model():
+    return CollectiveCostModel()
+
+
+def a100(world: int) -> Cluster:
+    assert world % 8 == 0 or world == 8
+    return Cluster(num_hosts=max(world // 8, 1), gpus_per_host=8, generation="A100")
+
+
+class TestFigure5RoundTrip:
+    """The model must regenerate the paper's measured bandwidths."""
+
+    @pytest.mark.parametrize("world,expected", sorted(FIGURE5_ALLTOALL_BUS_GBS.items()))
+    def test_alltoall_bus_bandwidth(self, model, world, expected):
+        group = global_group(a100(world))
+        timing = model.alltoall(group, FIGURE5_ALLTOALL_BYTES)
+        assert timing.bus_bandwidth("alltoall") / 1e9 == pytest.approx(
+            expected, rel=0.02
+        )
+
+    @pytest.mark.parametrize("world,expected", sorted(FIGURE5_ALLREDUCE_BUS_GBS.items()))
+    def test_allreduce_bus_bandwidth(self, model, world, expected):
+        group = global_group(a100(world))
+        timing = model.allreduce(group, FIGURE5_ALLREDUCE_BYTES)
+        assert timing.bus_bandwidth("allreduce") / 1e9 == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_alltoall_bandwidth_collapses_beyond_one_host(self, model):
+        """Figure 5's cliff: 155 GB/s at 8 GPUs -> 38 GB/s at 16."""
+        one_host = model.alltoall(global_group(a100(8)), FIGURE5_ALLTOALL_BYTES)
+        two_hosts = model.alltoall(global_group(a100(16)), FIGURE5_ALLTOALL_BYTES)
+        ratio = one_host.bus_bandwidth("alltoall") / two_hosts.bus_bandwidth("alltoall")
+        assert ratio > 3.5
+
+
+class TestEfficiencyInversion:
+    def test_alltoall_efficiencies_decay(self):
+        """Congestion worsens with flow count (allowing measured blips)."""
+        assert ALLTOALL_NIC_EFFICIENCY[8] > ALLTOALL_NIC_EFFICIENCY[504]
+        assert all(0.2 < e <= 1.0 for e in ALLTOALL_NIC_EFFICIENCY.values())
+
+    def test_alltoall_keys_are_flow_counts(self):
+        """Figure 5's worlds 16..512 at 8 GPUs/host -> flows W - 8."""
+        assert sorted(ALLTOALL_NIC_EFFICIENCY) == [8, 24, 56, 120, 248, 504]
+
+    def test_allreduce_efficiencies_monotone(self):
+        worlds = sorted(ALLREDUCE_NIC_EFFICIENCY)
+        effs = [ALLREDUCE_NIC_EFFICIENCY[w] for w in worlds]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_known_point_alltoall_two_hosts(self):
+        """Hand-derived in calibration.py: eff at 8 flows ~ 0.81."""
+        assert ALLTOALL_NIC_EFFICIENCY[8] == pytest.approx(0.81, abs=0.02)
+
+
+class TestCongestionCurve:
+    def test_interpolates_at_calibration_points(self):
+        curve = CongestionCurve.from_table({2: 0.8, 4: 0.7, 8: 0.6})
+        assert curve(2) == pytest.approx(0.8)
+        assert curve(8) == pytest.approx(0.6)
+
+    def test_interpolates_between_points_in_log_space(self):
+        curve = CongestionCurve.from_table({2: 0.8, 8: 0.6})
+        assert curve(4) == pytest.approx(0.7)
+
+    def test_extrapolates_with_floor(self):
+        curve = CongestionCurve.from_table({2: 0.5, 4: 0.2}, floor=0.15)
+        assert curve(1024) == pytest.approx(0.15)
+
+    def test_below_range_clamps_to_first(self):
+        curve = CongestionCurve.from_table({4: 0.7, 8: 0.6})
+        assert curve(2) == pytest.approx(0.7)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            CongestionCurve.from_table({})
+        with pytest.raises(ValueError):
+            CongestionCurve.from_table({2: -0.5})
+        curve = CongestionCurve.from_table({2: 0.8})
+        with pytest.raises(ValueError):
+            curve(0)
+
+
+class TestCostModelStructure:
+    def test_single_rank_collectives_cost_only_latency(self, model):
+        c = Cluster(1, 1)
+        g = global_group(c)
+        t = model.alltoall(g, 1 << 20)
+        assert t.bottleneck is Bottleneck.NONE
+        assert t.seconds == pytest.approx(t.latency_seconds)
+
+    def test_zero_bytes(self, model):
+        g = global_group(a100(16))
+        t = model.allreduce(g, 0)
+        assert t.nvlink_seconds == 0 and t.nic_seconds == 0
+
+    def test_negative_bytes_raises(self, model):
+        g = global_group(a100(16))
+        with pytest.raises(ValueError):
+            model.alltoall(g, -1)
+
+    def test_single_host_alltoall_is_nvlink_bound(self, model):
+        g = global_group(a100(8))
+        t = model.alltoall(g, 1 << 28)
+        assert t.bottleneck is Bottleneck.NVLINK
+        assert t.nic_seconds == 0.0
+
+    def test_multi_host_alltoall_is_nic_bound(self, model):
+        g = global_group(a100(64))
+        t = model.alltoall(g, 1 << 28)
+        assert t.bottleneck is Bottleneck.NIC
+
+    def test_latency_grows_with_world(self, model):
+        small = model.alltoall(global_group(a100(16)), 0)
+        large = model.alltoall(global_group(a100(512)), 0)
+        assert large.latency_seconds > small.latency_seconds
+
+    def test_time_scales_roughly_linearly_with_bytes(self, model):
+        g = global_group(a100(64))
+        t1 = model.alltoall(g, 1 << 24).seconds
+        t2 = model.alltoall(g, 1 << 26).seconds
+        assert t2 / t1 == pytest.approx(4.0, rel=0.05)
+
+    def test_reducescatter_is_half_allreduce(self, model):
+        g = global_group(a100(64))
+        ar = model.allreduce(g, 1 << 26)
+        rs = model.reducescatter(g, 1 << 26)
+        bw_term_ar = ar.seconds - ar.latency_seconds
+        bw_term_rs = rs.seconds - rs.latency_seconds
+        assert bw_term_rs == pytest.approx(bw_term_ar / 2, rel=1e-6)
+
+    def test_allgather_matches_reducescatter(self, model):
+        g = global_group(a100(64))
+        assert model.allgather(g, 1 << 26).seconds == pytest.approx(
+            model.reducescatter(g, 1 << 26).seconds
+        )
+
+
+class TestSPTTCommAdvantage:
+    """The quantitative core of §3.1.2: smaller worlds run faster."""
+
+    def test_peer_alltoall_beats_global_alltoall(self, model):
+        """SPTT step f: same bytes, world T=H instead of G -> faster."""
+        cluster = Cluster(num_hosts=64, gpus_per_host=8, generation="A100")
+        size = FIGURE5_ALLTOALL_BYTES
+        t_global = model.alltoall(global_group(cluster), size)
+        peer = peer_groups(cluster)[0]
+        t_peer = model.alltoall(peer, size)
+        assert t_peer.seconds < t_global.seconds
+
+    def test_intra_host_alltoall_is_cheap(self, model):
+        """SPTT step d rides NVLink: ~an order faster than global."""
+        cluster = Cluster(num_hosts=64, gpus_per_host=8, generation="A100")
+        size = FIGURE5_ALLTOALL_BYTES
+        t_global = model.alltoall(global_group(cluster), size)
+        t_intra = model.alltoall(intra_host_groups(cluster)[0], size)
+        assert t_global.seconds / t_intra.seconds > 5
+
+    def test_device_shuffle_far_cheaper_than_comm(self, model):
+        cluster = Cluster(num_hosts=8, gpus_per_host=8, generation="A100")
+        size = FIGURE5_ALLTOALL_BYTES
+        t_comm = model.alltoall(global_group(cluster), size).seconds
+        t_shuffle = model.device_shuffle(global_group(cluster), size)
+        assert t_shuffle < t_comm / 10
+
+
+class TestPointToPoint:
+    def test_same_host_uses_nvlink(self, model):
+        g = global_group(a100(16))
+        t = model.point_to_point(g, 0, 1, 1 << 26)
+        assert t.nvlink_seconds > 0 and t.nic_seconds == 0
+
+    def test_cross_host_uses_nic(self, model):
+        g = global_group(a100(16))
+        t = model.point_to_point(g, 0, 8, 1 << 26)
+        assert t.nic_seconds > 0 and t.nvlink_seconds == 0
+
+    def test_self_send_is_free(self, model):
+        g = global_group(a100(16))
+        t = model.point_to_point(g, 3, 3, 1 << 26)
+        assert t.seconds == pytest.approx(t.latency_seconds)

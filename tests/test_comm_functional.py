@@ -1,0 +1,209 @@
+"""Tests for functional (real data movement) collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import functional as F
+from repro.comm.process_group import ProcessGroup, global_group, peer_groups
+from repro.hardware import Cluster
+
+
+@pytest.fixture
+def group4():
+    return global_group(Cluster(num_hosts=2, gpus_per_host=2))
+
+
+def rank_arrays(group, shape=(4,), seed=0):
+    rng = np.random.default_rng(seed)
+    return {r: rng.standard_normal(shape) for r in group.ranks}
+
+
+class TestAlltoAll:
+    def test_paper_figure4_pattern(self, group4):
+        """Figure 4 step (a)/(c): rank r receives bucket r from everyone."""
+        inputs = {
+            r: [np.array([r * 10 + j]) for j in range(4)] for r in group4.ranks
+        }
+        out = F.alltoall(group4, inputs)
+        for i, r in enumerate(group4.ranks):
+            received = [int(a[0]) for a in out[r]]
+            assert received == [src * 10 + i for src in group4.ranks]
+
+    def test_is_involution_for_symmetric_pattern(self, group4):
+        """AlltoAll twice returns the original layout (transpose^2 = id)."""
+        inputs = {r: [np.array([r, j]) for j in range(4)] for r in group4.ranks}
+        once = F.alltoall(group4, inputs)
+        twice = F.alltoall(group4, once)
+        for r in group4.ranks:
+            for j in range(4):
+                np.testing.assert_array_equal(twice[r][j], inputs[r][j])
+
+    def test_wrong_bucket_count_raises(self, group4):
+        inputs = {r: [np.zeros(1)] * 3 for r in group4.ranks}
+        with pytest.raises(ValueError, match="buckets"):
+            F.alltoall(group4, inputs)
+
+    def test_membership_mismatch_raises(self, group4):
+        inputs = {r: [np.zeros(1)] * 4 for r in [0, 1, 2]}
+        with pytest.raises(ValueError, match="membership"):
+            F.alltoall(group4, inputs)
+
+    def test_preserves_total_data(self, group4):
+        inputs = {
+            r: [np.full((2,), r * 4 + j, dtype=float) for j in range(4)]
+            for r in group4.ranks
+        }
+        out = F.alltoall(group4, inputs)
+        in_sum = sum(a.sum() for bufs in inputs.values() for a in bufs)
+        out_sum = sum(a.sum() for bufs in out.values() for a in bufs)
+        assert in_sum == pytest.approx(out_sum)
+
+
+class TestAlltoAllSingle:
+    def test_round_trip(self, group4):
+        inputs = {r: np.arange(8, dtype=float) + 100 * r for r in group4.ranks}
+        out = F.alltoall_single(group4, inputs)
+        back = F.alltoall_single(group4, out)
+        for r in group4.ranks:
+            np.testing.assert_array_equal(back[r], inputs[r])
+
+    def test_chunk_routing(self, group4):
+        inputs = {r: np.repeat(np.arange(4), 2) + 10 * r for r in group4.ranks}
+        out = F.alltoall_single(group4, inputs)
+        # rank 1 receives chunk 1 of every rank, in group order
+        expected = np.concatenate([[1, 1], [11, 11], [21, 21], [31, 31]])
+        np.testing.assert_array_equal(out[1], expected)
+
+    def test_indivisible_axis_raises(self, group4):
+        inputs = {r: np.zeros(7) for r in group4.ranks}
+        with pytest.raises(ValueError, match="divisible"):
+            F.alltoall_single(group4, inputs)
+
+    def test_axis1(self, group4):
+        inputs = {r: np.arange(8, dtype=float).reshape(2, 4) + r for r in group4.ranks}
+        out = F.alltoall_single(group4, inputs, axis=1)
+        assert out[0].shape == (2, 4)
+        np.testing.assert_array_equal(out[0][:, 0], inputs[0][:, 0])
+        np.testing.assert_array_equal(out[0][:, 1], inputs[1][:, 0])
+
+
+class TestAllReduce:
+    def test_sum(self, group4):
+        inputs = {r: np.full((3,), float(r)) for r in group4.ranks}
+        out = F.allreduce(group4, inputs)
+        for r in group4.ranks:
+            np.testing.assert_allclose(out[r], np.full((3,), 6.0))
+
+    def test_results_independent_copies(self, group4):
+        inputs = rank_arrays(group4)
+        out = F.allreduce(group4, inputs)
+        out[0][0] = 1e9
+        assert out[1][0] != 1e9
+
+    def test_shape_mismatch_raises(self, group4):
+        inputs = {r: np.zeros(3 if r else 4) for r in group4.ranks}
+        with pytest.raises(ValueError, match="shapes"):
+            F.allreduce(group4, inputs)
+
+
+class TestReduceScatterAllGather:
+    def test_reducescatter_then_allgather_equals_allreduce(self, group4):
+        inputs = rank_arrays(group4, shape=(8,))
+        rs = F.reducescatter(group4, inputs)
+        ag = F.allgather(group4, rs)
+        ar = F.allreduce(group4, inputs)
+        for r in group4.ranks:
+            np.testing.assert_allclose(ag[r], ar[r])
+
+    def test_reducescatter_chunks(self, group4):
+        inputs = {r: np.arange(4, dtype=float) for r in group4.ranks}
+        out = F.reducescatter(group4, inputs)
+        for i, r in enumerate(group4.ranks):
+            np.testing.assert_allclose(out[r], [4.0 * i])
+
+    def test_indivisible_raises(self, group4):
+        inputs = {r: np.zeros(6) for r in group4.ranks}
+        with pytest.raises(ValueError, match="divisible"):
+            F.reducescatter(group4, inputs)
+
+
+class TestBroadcast:
+    def test_broadcast_from_each_source(self, group4):
+        inputs = rank_arrays(group4)
+        for src in group4.ranks:
+            out = F.broadcast(group4, inputs, src=src)
+            for r in group4.ranks:
+                np.testing.assert_array_equal(out[r], inputs[src])
+
+    def test_bad_source_raises(self, group4):
+        inputs = rank_arrays(group4)
+        with pytest.raises(KeyError):
+            F.broadcast(group4, inputs, src=99)
+
+
+class TestSubGroups:
+    def test_peer_group_alltoall_stays_within_group(self):
+        cluster = Cluster(num_hosts=4, gpus_per_host=2)
+        for pg in peer_groups(cluster):
+            inputs = {
+                r: [np.array([r * 100 + j]) for j in range(pg.world_size)]
+                for r in pg.ranks
+            }
+            out = F.alltoall(pg, inputs)
+            assert set(out) == set(pg.ranks)
+
+    def test_group_rank_lookup(self):
+        cluster = Cluster(num_hosts=4, gpus_per_host=2)
+        pg = peer_groups(cluster)[1]  # ranks (1, 3, 5, 7)
+        assert pg.group_rank(5) == 2
+        with pytest.raises(KeyError):
+            pg.group_rank(0)
+
+    def test_duplicate_ranks_rejected(self):
+        cluster = Cluster(num_hosts=1, gpus_per_host=4)
+        with pytest.raises(ValueError, match="duplicate"):
+            ProcessGroup(cluster, (0, 0, 1))
+
+    def test_cross_host_fraction(self):
+        cluster = Cluster(num_hosts=4, gpus_per_host=2)
+        assert global_group(cluster).cross_host_fraction() == pytest.approx(6 / 7)
+        assert peer_groups(cluster)[0].cross_host_fraction() == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hosts=st.integers(1, 4),
+    gpus=st.integers(1, 4),
+    length=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_alltoall_single_round_trip_property(hosts, gpus, length, seed):
+    """Property: alltoall_single is its own inverse for any world shape."""
+    cluster = Cluster(num_hosts=hosts, gpus_per_host=gpus)
+    group = global_group(cluster)
+    rng = np.random.default_rng(seed)
+    inputs = {
+        r: rng.standard_normal(group.world_size * length) for r in group.ranks
+    }
+    back = F.alltoall_single(group, F.alltoall_single(group, inputs))
+    for r in group.ranks:
+        np.testing.assert_array_equal(back[r], inputs[r])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hosts=st.integers(1, 3),
+    gpus=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+)
+def test_allreduce_invariant_under_rank_permutation(hosts, gpus, seed):
+    """Property: allreduce result does not depend on who holds what."""
+    cluster = Cluster(num_hosts=hosts, gpus_per_host=gpus)
+    group = global_group(cluster)
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(4) for _ in group.ranks]
+    a = F.allreduce(group, dict(zip(group.ranks, arrays)))
+    b = F.allreduce(group, dict(zip(group.ranks, arrays[::-1])))
+    np.testing.assert_allclose(a[0], b[0])

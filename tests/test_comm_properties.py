@@ -1,0 +1,107 @@
+"""Property-based tests of the collective cost model's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import CollectiveCostModel, global_group, peer_groups
+from repro.hardware import Cluster
+
+GENS = ("V100", "A100", "H100")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hosts=st.sampled_from([1, 2, 4, 8, 16]),
+    gpus=st.sampled_from([1, 2, 4, 8]),
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1, 1 << 30),
+)
+def test_alltoall_monotone_in_bytes(hosts, gpus, gen, nbytes):
+    """More bytes never get cheaper."""
+    model = CollectiveCostModel()
+    group = global_group(Cluster(hosts, gpus, gen))
+    t1 = model.alltoall(group, nbytes).seconds
+    t2 = model.alltoall(group, 2 * nbytes).seconds
+    assert t2 >= t1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hosts=st.sampled_from([2, 4, 8, 32]),
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1 << 20, 1 << 28),
+)
+def test_collectives_nonnegative_and_finite(hosts, gen, nbytes):
+    model = CollectiveCostModel()
+    group = global_group(Cluster(hosts, 8, gen))
+    for fn in (model.alltoall, model.allreduce, model.reducescatter, model.allgather):
+        t = fn(group, nbytes)
+        assert t.seconds > 0
+        assert t.seconds < 60  # sane upper bound for <= 256MB buffers
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hosts=st.sampled_from([2, 4, 8]),
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1 << 22, 1 << 28),
+)
+def test_bus_bandwidth_bounded_by_line_rates(hosts, gen, nbytes):
+    """Achieved bus bandwidth can never exceed the NVLink line rate."""
+    cluster = Cluster(hosts, 8, gen)
+    model = CollectiveCostModel()
+    group = global_group(cluster)
+    bw = model.alltoall(group, nbytes).bus_bandwidth("alltoall")
+    assert bw <= cluster.spec.scale_up_bytes_per_s * 1.01
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hosts=st.sampled_from([2, 4, 8, 32]),
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1 << 22, 1 << 28),
+)
+def test_reducescatter_plus_allgather_bounds_allreduce(hosts, gen, nbytes):
+    """AllReduce = ReduceScatter + AllGather in ring algebra: the sum
+    of the two halves matches the full ring's bandwidth term."""
+    model = CollectiveCostModel()
+    group = global_group(Cluster(hosts, 8, gen))
+    ar = model.allreduce(group, nbytes)
+    rs = model.reducescatter(group, nbytes)
+    ag = model.allgather(group, nbytes)
+    bw_sum = (rs.seconds - rs.latency_seconds) + (ag.seconds - ag.latency_seconds)
+    bw_ar = ar.seconds - ar.latency_seconds
+    assert bw_sum == pytest.approx(bw_ar, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    hosts=st.sampled_from([4, 8, 16, 64]),
+    nbytes=st.integers(1 << 22, 1 << 28),
+)
+def test_peer_alltoall_never_slower_than_global(hosts, nbytes):
+    """The §3.1.2 property holds across the whole parameter space:
+    same per-rank bytes, world H instead of G -> never slower."""
+    cluster = Cluster(hosts, 8, "A100")
+    model = CollectiveCostModel()
+    t_global = model.alltoall(global_group(cluster), nbytes).seconds
+    t_peer = model.alltoall(peer_groups(cluster)[0], nbytes).seconds
+    assert t_peer <= t_global * 1.001
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1 << 20, 1 << 26),
+)
+def test_faster_generation_never_slower(gen, nbytes):
+    """H100's links dominate V100's: any collective is at least as
+    fast on the newer fabric at equal shape."""
+    model = CollectiveCostModel()
+    old = global_group(Cluster(8, 8, "V100"))
+    new = global_group(Cluster(8, 8, "H100"))
+    assert (
+        model.alltoall(new, nbytes).seconds
+        <= model.alltoall(old, nbytes).seconds * 1.001
+    )

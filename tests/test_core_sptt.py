@@ -1,0 +1,216 @@
+"""SPTT semantic-preservation tests — the Table 3 claim, made exact.
+
+The flat pipeline (Figure 4) and the SPTT pipeline (Figure 7) must
+deliver *bit-identical* embeddings to every rank, and route *identical*
+gradients back into every table, because SPTT only re-orchestrates
+dataflow.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flat_pipeline import FlatEmbeddingExchange
+from repro.core.partition import FeaturePartition
+from repro.core.sptt import SPTTEmbeddingExchange
+from repro.hardware import Cluster
+from repro.nn import EmbeddingBagCollection
+from repro.models import tiny_table_configs
+from repro.sim import Phase, SimCluster
+
+
+def make_setup(hosts=2, gpus=2, F=6, dim=4, rows=16, pooling=1, seed=0):
+    cluster = Cluster(num_hosts=hosts, gpus_per_host=gpus, generation="A100")
+    sim = SimCluster(cluster)
+    ebc = EmbeddingBagCollection(
+        tiny_table_configs(F, num_embeddings=rows, dim=dim, pooling=pooling),
+        rng=np.random.default_rng(seed),
+    )
+    return sim, ebc
+
+
+def make_ids(sim, F, B=3, rows=16, pooling=1, seed=1):
+    rng = np.random.default_rng(seed)
+    shape = (B, F) if pooling == 1 else (B, F, pooling)
+    return {r: rng.integers(0, rows, size=shape) for r in range(sim.world_size)}
+
+
+def sptt_plan_matching_flat(sptt):
+    """Flat plan with the same feature->rank ownership as the SPTT plan."""
+    plan = [0] * sptt.num_features
+    for rank, feats in sptt.features_of.items():
+        for f in feats:
+            plan[f] = rank
+    return plan
+
+
+class TestSPTTForwardEquality:
+    @pytest.mark.parametrize(
+        "hosts,gpus,F",
+        [(2, 2, 4), (2, 2, 6), (4, 2, 8), (2, 4, 8), (3, 2, 7), (2, 1, 4)],
+    )
+    def test_bitwise_equal_to_flat(self, hosts, gpus, F):
+        sim_flat, ebc = make_setup(hosts, gpus, F)
+        partition = FeaturePartition.contiguous(F, hosts)
+        sim_sptt = SimCluster(sim_flat.cluster)
+        sptt = SPTTEmbeddingExchange(sim_sptt, ebc, partition)
+        flat = FlatEmbeddingExchange(sim_flat, ebc, sptt_plan_matching_flat(sptt))
+
+        ids = make_ids(sim_flat, F)
+        out_flat = flat.forward(ids)
+        out_sptt = sptt.forward(ids)
+        for r in range(sim_flat.world_size):
+            np.testing.assert_array_equal(out_flat[r], out_sptt[r])
+
+    def test_multi_hot_pooling_equal(self):
+        sim_flat, ebc = make_setup(F=4, pooling=3)
+        partition = FeaturePartition.contiguous(4, 2)
+        sim_sptt = SimCluster(sim_flat.cluster)
+        sptt = SPTTEmbeddingExchange(sim_sptt, ebc, partition)
+        flat = FlatEmbeddingExchange(sim_flat, ebc, sptt_plan_matching_flat(sptt))
+        ids = make_ids(sim_flat, 4, pooling=3)
+        out_flat = flat.forward(ids)
+        out_sptt = sptt.forward(ids)
+        for r in out_flat:
+            np.testing.assert_array_equal(out_flat[r], out_sptt[r])
+
+    def test_scrambled_partition_equal(self):
+        """Partition order must not matter for semantics."""
+        F = 8
+        sim_flat, ebc = make_setup(hosts=2, gpus=2, F=F)
+        partition = FeaturePartition.from_groups([[7, 0, 3, 5], [2, 6, 1, 4]])
+        sim_sptt = SimCluster(sim_flat.cluster)
+        sptt = SPTTEmbeddingExchange(sim_sptt, ebc, partition)
+        flat = FlatEmbeddingExchange(sim_flat, ebc, sptt_plan_matching_flat(sptt))
+        ids = make_ids(sim_flat, F)
+        out_flat = flat.forward(ids)
+        out_sptt = sptt.forward(ids)
+        for r in out_flat:
+            np.testing.assert_array_equal(out_flat[r], out_sptt[r])
+
+    def test_lookup_values_correct(self):
+        """SPTT output actually contains the right table rows."""
+        sim, ebc = make_setup(hosts=2, gpus=2, F=4)
+        partition = FeaturePartition.contiguous(4, 2)
+        sptt = SPTTEmbeddingExchange(sim, ebc, partition)
+        ids = make_ids(sim, 4)
+        out = sptt.forward(ids)
+        for r, id_arr in ids.items():
+            for b in range(id_arr.shape[0]):
+                for f in range(4):
+                    np.testing.assert_array_equal(
+                        out[r][b, f], ebc.tables[f].weight.data[id_arr[b, f]]
+                    )
+
+
+class TestSPTTBackwardEquality:
+    def test_gradients_match_flat(self):
+        F, B = 6, 3
+        sim_flat, ebc = make_setup(hosts=2, gpus=2, F=F)
+        partition = FeaturePartition.contiguous(F, 2)
+        sim_sptt = SimCluster(sim_flat.cluster)
+        sptt = SPTTEmbeddingExchange(sim_sptt, ebc, partition)
+        flat = FlatEmbeddingExchange(sim_flat, ebc, sptt_plan_matching_flat(sptt))
+        ids = make_ids(sim_flat, F, B=B)
+        rng = np.random.default_rng(5)
+        grads = {
+            r: rng.standard_normal((B, F, ebc.dim))
+            for r in range(sim_flat.world_size)
+        }
+
+        flat.forward(ids)
+        for t in ebc.tables:
+            t.weight.zero_grad()
+        flat.backward(grads)
+        flat_grads = [t.weight.grad.copy() for t in ebc.tables]
+
+        sptt.forward(ids)
+        for t in ebc.tables:
+            t.weight.zero_grad()
+        sptt.backward(grads)
+        sptt_grads = [t.weight.grad.copy() for t in ebc.tables]
+
+        for f, (a, b) in enumerate(zip(flat_grads, sptt_grads)):
+            np.testing.assert_array_equal(a, b, err_msg=f"table {f}")
+
+    def test_backward_before_forward_raises(self):
+        sim, ebc = make_setup(F=4)
+        sptt = SPTTEmbeddingExchange(sim, ebc, FeaturePartition.contiguous(4, 2))
+        with pytest.raises(RuntimeError):
+            sptt.backward({r: np.zeros((2, 4, 4)) for r in range(4)})
+
+
+class TestSPTTStructure:
+    def test_tower_host_mismatch_rejected(self):
+        sim, ebc = make_setup(hosts=2, gpus=2, F=6)
+        with pytest.raises(ValueError, match="towers"):
+            SPTTEmbeddingExchange(sim, ebc, FeaturePartition.contiguous(6, 3))
+
+    def test_feature_count_mismatch_rejected(self):
+        sim, ebc = make_setup(hosts=2, gpus=2, F=6)
+        with pytest.raises(ValueError, match="features"):
+            SPTTEmbeddingExchange(sim, ebc, FeaturePartition.contiguous(5, 2))
+
+    def test_tables_assigned_within_tower_host(self):
+        sim, ebc = make_setup(hosts=2, gpus=2, F=8)
+        partition = FeaturePartition.contiguous(8, 2)
+        sptt = SPTTEmbeddingExchange(sim, ebc, partition)
+        for rank, feats in sptt.features_of.items():
+            host = sim.cluster.host_of(rank)
+            for f in feats:
+                assert partition.group_of(f) == host
+
+    def test_peer_alltoall_world_is_num_hosts(self):
+        """§3.1.1: step (f) runs in worlds of size T = G // L."""
+        sim, ebc = make_setup(hosts=4, gpus=2, F=8)
+        sptt = SPTTEmbeddingExchange(sim, ebc, FeaturePartition.contiguous(8, 4))
+        sptt.forward(make_ids(sim, 8))
+        peer_events = [
+            e for e in sim.timeline.events if e.label == "sptt.peer_a2a"
+        ]
+        assert len(peer_events) == 1
+        assert peer_events[0].world_size == 4  # hosts, not 8 GPUs
+
+    def test_intra_host_comm_cheaper_than_flat_output_dist(self):
+        """The topology win: step (d) rides NVLink."""
+        sim_flat, ebc = make_setup(hosts=2, gpus=2, F=8)
+        partition = FeaturePartition.contiguous(8, 2)
+        sim_sptt = SimCluster(sim_flat.cluster)
+        sptt = SPTTEmbeddingExchange(sim_sptt, ebc, partition)
+        flat = FlatEmbeddingExchange(sim_flat, ebc, sptt_plan_matching_flat(sptt))
+        ids = make_ids(sim_flat, 8)
+        flat.forward(ids)
+        sptt.forward(ids)
+        flat_output_dist = sum(
+            e.seconds for e in sim_flat.timeline.events if e.label == "output_dist"
+        )
+        intra = sum(
+            e.seconds
+            for e in sim_sptt.timeline.events
+            if e.label == "sptt.intra_host"
+        )
+        assert intra < flat_output_dist
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    hosts=st.integers(2, 3),
+    gpus=st.integers(1, 3),
+    extra=st.integers(0, 5),
+    batch=st.integers(1, 4),
+    seed=st.integers(0, 1000),
+)
+def test_sptt_flat_equality_property(hosts, gpus, extra, batch, seed):
+    """Property: SPTT == flat for arbitrary shapes and seeds."""
+    F = hosts * gpus + extra  # at least one feature per rank's tower
+    sim_flat, ebc = make_setup(hosts=hosts, gpus=gpus, F=F, seed=seed)
+    partition = FeaturePartition.contiguous(F, hosts)
+    sim_sptt = SimCluster(sim_flat.cluster)
+    sptt = SPTTEmbeddingExchange(sim_sptt, ebc, partition)
+    flat = FlatEmbeddingExchange(sim_flat, ebc, sptt_plan_matching_flat(sptt))
+    ids = make_ids(sim_flat, F, B=batch, seed=seed + 1)
+    out_flat = flat.forward(ids)
+    out_sptt = sptt.forward(ids)
+    for r in out_flat:
+        np.testing.assert_array_equal(out_flat[r], out_sptt[r])

@@ -1,0 +1,298 @@
+"""Distributed trainer tests: hybrid baseline and DMT vs single-process.
+
+The strongest integration claim in the repo: one simulated distributed
+training step (model-parallel tables + data-parallel dense + SPTT +
+tower modules + intra-host tower sync) produces the same losses and the
+same parameters as single-process training on the concatenated global
+batch, to floating-point summation tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dmt_pipeline import DistributedDMTTrainer, DistributedHybridTrainer
+from repro.core.partition import FeaturePartition
+from repro.hardware import Cluster
+from repro.models import DCN, DLRM, DMTDCN, DMTDLRM, tiny_table_configs
+from repro.models.configs import tiny_dcn_arch, tiny_dlrm_arch
+from repro.nn import Adam, BCEWithLogitsLoss, SGD
+from repro.sim import Phase, SimCluster
+
+F, N, DENSE = 6, 8, 4
+ROWS = 16
+
+
+def make_cluster(hosts=2, gpus=2):
+    return SimCluster(Cluster(num_hosts=hosts, gpus_per_host=gpus, generation="A100"))
+
+
+def make_batch(sim, B_local=3, seed=2):
+    rng = np.random.default_rng(seed)
+    G = sim.world_size
+    dense = rng.standard_normal((G * B_local, DENSE))
+    ids = rng.integers(0, ROWS, size=(G * B_local, F))
+    labels = rng.integers(0, 2, size=G * B_local).astype(float)
+    return dense, ids, labels
+
+
+def single_process_step(model, dense, ids, labels, lr=0.05):
+    loss_mod = BCEWithLogitsLoss()
+    model.zero_grad()
+    logits = model(dense, ids)
+    loss = loss_mod(logits, labels)
+    model.backward(loss_mod.backward())
+    return loss
+
+
+def copy_model(ctor):
+    """Construct twice with the same seed -> identical weights."""
+    return ctor(np.random.default_rng(17)), ctor(np.random.default_rng(17))
+
+
+class TestHybridTrainerEquivalence:
+    @pytest.mark.parametrize("model_kind", ["dlrm", "dcn"])
+    def test_losses_and_grads_match_single_process(self, model_kind):
+        sim = make_cluster()
+
+        def ctor(rng):
+            if model_kind == "dlrm":
+                return DLRM(
+                    DENSE,
+                    tiny_table_configs(F, ROWS, N),
+                    tiny_dlrm_arch(N),
+                    rng=rng,
+                )
+            return DCN(
+                DENSE, tiny_table_configs(F, ROWS, N), tiny_dcn_arch(N), rng=rng
+            )
+
+        dist_model, ref_model = copy_model(ctor)
+        trainer = DistributedHybridTrainer(sim, dist_model)
+        dense, ids, labels = make_batch(sim)
+
+        dist_model.zero_grad()
+        dist_loss = trainer.train_step(dense, ids, labels)
+        ref_loss = single_process_step(ref_model, dense, ids, labels)
+        assert dist_loss == pytest.approx(ref_loss, rel=1e-12)
+
+        ref_params = dict(ref_model.named_parameters())
+        for name, p in dist_model.named_parameters():
+            ref_grad = ref_params[name].grad
+            if ref_grad is None:
+                assert p.grad is None or not np.abs(p.grad).any()
+            else:
+                np.testing.assert_allclose(
+                    p.grad, ref_grad, rtol=1e-9, atol=1e-12, err_msg=name
+                )
+
+    def test_multi_step_training_stays_in_sync(self):
+        sim = make_cluster()
+
+        def ctor(rng):
+            return DLRM(
+                DENSE, tiny_table_configs(F, ROWS, N), tiny_dlrm_arch(N), rng=rng
+            )
+
+        dist_model, ref_model = copy_model(ctor)
+        trainer = DistributedHybridTrainer(sim, dist_model)
+        opt_d = SGD(dist_model.parameters(), lr=0.1)
+        opt_r = SGD(ref_model.parameters(), lr=0.1)
+        for step in range(4):
+            dense, ids, labels = make_batch(sim, seed=step)
+            opt_d.zero_grad()
+            dist_loss = trainer.train_step(dense, ids, labels)
+            opt_d.step()
+            opt_r.zero_grad()
+            ref_loss = single_process_step(ref_model, dense, ids, labels)
+            opt_r.step()
+            assert dist_loss == pytest.approx(ref_loss, rel=1e-9)
+        for (n1, p1), (n2, p2) in zip(
+            dist_model.named_parameters(), ref_model.named_parameters()
+        ):
+            np.testing.assert_allclose(p1.data, p2.data, rtol=1e-8, err_msg=n1)
+
+    def test_timeline_has_three_alltoalls_and_allreduce(self):
+        """§2.3.1: AlltoAll >= 3x, AllReduce >= 1x per iteration."""
+        sim = make_cluster()
+        model = DLRM(
+            DENSE,
+            tiny_table_configs(F, ROWS, N),
+            tiny_dlrm_arch(N),
+            rng=np.random.default_rng(0),
+        )
+        trainer = DistributedHybridTrainer(sim, model)
+        trainer.train_step(*make_batch(sim))
+        labels = [e.label for e in sim.timeline.events]
+        assert labels.count("input_dist") == 1
+        assert labels.count("output_dist") == 1
+        assert labels.count("grad_dist") == 1
+        assert labels.count("dense_allreduce") == 1
+
+    def test_indivisible_batch_rejected(self):
+        sim = make_cluster()
+        model = DLRM(
+            DENSE,
+            tiny_table_configs(F, ROWS, N),
+            tiny_dlrm_arch(N),
+            rng=np.random.default_rng(0),
+        )
+        trainer = DistributedHybridTrainer(sim, model)
+        with pytest.raises(ValueError, match="divisible"):
+            trainer.train_step(
+                np.zeros((5, DENSE)), np.zeros((5, F), dtype=int), np.zeros(5)
+            )
+
+
+class TestDMTTrainerEquivalence:
+    @pytest.mark.parametrize(
+        "model_kind,pass_through",
+        [("dlrm", True), ("dlrm", False), ("dcn", True), ("dcn", False)],
+    )
+    def test_matches_single_process(self, model_kind, pass_through):
+        sim = make_cluster(hosts=2, gpus=2)
+        partition = FeaturePartition.contiguous(F, 2)
+
+        def ctor(rng):
+            if model_kind == "dlrm":
+                return DMTDLRM(
+                    DENSE,
+                    tiny_table_configs(F, ROWS, N),
+                    partition,
+                    tiny_dlrm_arch(N),
+                    tower_dim=4,
+                    pass_through=pass_through,
+                    rng=rng,
+                )
+            return DMTDCN(
+                DENSE,
+                tiny_table_configs(F, ROWS, N),
+                partition,
+                tiny_dcn_arch(N),
+                tower_dim=4,
+                pass_through=pass_through,
+                rng=rng,
+            )
+
+        dist_model, ref_model = copy_model(ctor)
+        trainer = DistributedDMTTrainer(sim, dist_model)
+        dense, ids, labels = make_batch(sim)
+
+        dist_model.zero_grad()
+        dist_loss = trainer.train_step(dense, ids, labels)
+        ref_loss = single_process_step(ref_model, dense, ids, labels)
+        assert dist_loss == pytest.approx(ref_loss, rel=1e-12)
+
+        ref_params = dict(ref_model.named_parameters())
+        for name, p in dist_model.named_parameters():
+            ref_grad = ref_params[name].grad
+            if ref_grad is None:
+                continue
+            np.testing.assert_allclose(
+                p.grad if p.grad is not None else np.zeros_like(p.data),
+                ref_grad,
+                rtol=1e-8,
+                atol=1e-12,
+                err_msg=name,
+            )
+
+    def test_multi_step_fit_matches_single_process(self):
+        sim = make_cluster(hosts=2, gpus=2)
+        partition = FeaturePartition.contiguous(F, 2)
+
+        def ctor(rng):
+            return DMTDLRM(
+                DENSE,
+                tiny_table_configs(F, ROWS, N),
+                partition,
+                tiny_dlrm_arch(N),
+                tower_dim=4,
+                rng=rng,
+            )
+
+        dist_model, ref_model = copy_model(ctor)
+        trainer = DistributedDMTTrainer(sim, dist_model)
+        opt_d = Adam(dist_model.parameters(), lr=0.01)
+        opt_r = Adam(ref_model.parameters(), lr=0.01)
+        loss_mod = BCEWithLogitsLoss()
+        for step in range(3):
+            dense, ids, labels = make_batch(sim, seed=10 + step)
+            dist_loss = trainer.fit_step(dense, ids, labels, [opt_d])
+            opt_r.zero_grad()
+            logits = ref_model(dense, ids)
+            ref_loss = loss_mod(logits, labels)
+            ref_model.backward(loss_mod.backward())
+            opt_r.step()
+            assert dist_loss == pytest.approx(ref_loss, rel=1e-8)
+        for (n1, p1), (n2, p2) in zip(
+            dist_model.named_parameters(), ref_model.named_parameters()
+        ):
+            np.testing.assert_allclose(p1.data, p2.data, rtol=1e-7, err_msg=n1)
+
+    def test_tower_sync_is_intra_host(self):
+        """§3.2: tower-module gradients synchronize within a host only."""
+        sim = make_cluster(hosts=2, gpus=2)
+        partition = FeaturePartition.contiguous(F, 2)
+        model = DMTDLRM(
+            DENSE,
+            tiny_table_configs(F, ROWS, N),
+            partition,
+            tiny_dlrm_arch(N),
+            tower_dim=4,
+            rng=np.random.default_rng(0),
+        )
+        trainer = DistributedDMTTrainer(sim, model)
+        trainer.train_step(*make_batch(sim))
+        tower_events = [
+            e for e in sim.timeline.events if e.label == "tower_allreduce"
+        ]
+        assert len(tower_events) == 1
+        assert tower_events[0].world_size == sim.gpus_per_host
+
+    def test_peer_alltoall_smaller_than_flat_alltoall_events(self):
+        """DMT's cross-host collectives run in world T, not G."""
+        sim = make_cluster(hosts=2, gpus=2)
+        partition = FeaturePartition.contiguous(F, 2)
+        model = DMTDLRM(
+            DENSE,
+            tiny_table_configs(F, ROWS, N),
+            partition,
+            tiny_dlrm_arch(N),
+            tower_dim=4,
+            rng=np.random.default_rng(0),
+        )
+        trainer = DistributedDMTTrainer(sim, model)
+        trainer.train_step(*make_batch(sim))
+        peer = [e for e in sim.timeline.events if "peer_a2a" in e.label]
+        assert peer and all(e.world_size == sim.num_hosts for e in peer)
+
+    def test_tower_host_mismatch_rejected(self):
+        sim = make_cluster(hosts=2, gpus=2)
+        model = DMTDLRM(
+            DENSE,
+            tiny_table_configs(F, ROWS, N),
+            FeaturePartition.contiguous(F, 3),
+            tiny_dlrm_arch(N),
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="towers"):
+            DistributedDMTTrainer(sim, model)
+
+    def test_compressed_dmt_moves_fewer_cross_host_bytes(self):
+        """Tower compression shrinks step (f) traffic (the CR story)."""
+
+        def peer_bytes(tower_dim):
+            sim = make_cluster(hosts=2, gpus=2)
+            model = DMTDLRM(
+                DENSE,
+                tiny_table_configs(F, ROWS, N),
+                FeaturePartition.contiguous(F, 2),
+                tiny_dlrm_arch(N),
+                tower_dim=tower_dim,
+                rng=np.random.default_rng(0),
+            )
+            DistributedDMTTrainer(sim, model).train_step(*make_batch(sim))
+            return sum(
+                e.nbytes for e in sim.timeline.events if e.label == "sptt.peer_a2a"
+            )
+
+        assert peer_bytes(tower_dim=2) < peer_bytes(tower_dim=N)

@@ -1,0 +1,116 @@
+"""Smoke tests for the experiment framework and the light experiments.
+
+Heavy training experiments (tables 2-6) run in the benchmark suite;
+here we cover the registry/CLI machinery and the model-driven
+experiments end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.result import ExperimentResult, format_table
+from repro.experiments.runner import main as cli_main
+
+ALL_IDS = {
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure1",
+    "figure5",
+    "figure6",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "xlrm",
+    "quantization",
+}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = {exp_id for exp_id, _ in list_experiments()}
+        assert ids == ALL_IDS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_double_registration_rejected(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(ValueError, match="twice"):
+            register("table1", "dup")(lambda fast=True: None)
+
+
+class TestResultFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_render_and_save(self, tmp_path):
+        result = ExperimentResult(
+            exp_id="demo", title="T", body="B", paper_reference="P"
+        )
+        text = result.render()
+        assert "demo" in text and "[paper] P" in text
+        path = result.save(str(tmp_path))
+        assert open(path).read().startswith("== demo")
+
+
+class TestLightExperiments:
+    @pytest.mark.parametrize(
+        "exp_id",
+        [
+            "table1",
+            "figure1",
+            "figure5",
+            "figure6",
+            "figure10",
+            "figure11",
+            "figure12",
+            "figure13",
+            "quantization",
+        ],
+    )
+    def test_runs_and_produces_body(self, exp_id):
+        result = get_experiment(exp_id)(fast=True)
+        assert result.exp_id == exp_id
+        assert len(result.body) > 40
+        assert result.paper_reference
+
+    def test_figure10_headline(self):
+        result = get_experiment("figure10")(fast=True)
+        assert result.data["max_speedup"] > 1.5
+
+    def test_figure13_anchors(self):
+        result = get_experiment("figure13")(fast=True)
+        assert result.data["baseline_compute_ms"] == pytest.approx(29.4, rel=0.2)
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "figure10" in out
+
+    def test_run_single(self, capsys, tmp_path):
+        assert cli_main(["run", "table1", "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Recent generational upgrades" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            cli_main(["run", "nope"])

@@ -1,0 +1,79 @@
+"""Tests for GPU generation specs (paper Table 1)."""
+
+import pytest
+
+from repro.hardware import (
+    A100,
+    GENERATIONS,
+    GPUGeneration,
+    H100,
+    V100,
+    compute_network_gap,
+    get_spec,
+)
+
+
+class TestTable1Values:
+    def test_v100_row(self):
+        assert V100.peak_tflops == 15.7
+        assert V100.scale_out_gbps == 100.0
+        assert V100.scale_up_gbs == 150.0
+        assert V100.year == 2019
+
+    def test_a100_row(self):
+        assert A100.peak_tflops == 156.0
+        assert A100.scale_out_gbps == 200.0
+        assert A100.scale_up_gbs == 300.0
+        assert A100.year == 2022
+
+    def test_h100_row(self):
+        assert H100.peak_tflops == 989.0
+        assert H100.scale_out_gbps == 400.0
+        assert H100.scale_up_gbs == 450.0
+        assert H100.year == 2023
+
+    def test_compute_outpaces_network_claim(self):
+        """§1: compute improved ~60x, scale-out only 4x (V100 -> H100)."""
+        compute_growth, network_growth = compute_network_gap(V100, H100)
+        assert compute_growth == pytest.approx(63.0, rel=0.01)
+        assert network_growth == pytest.approx(4.0)
+        assert compute_growth / network_growth > 15
+
+    def test_scale_up_exceeds_scale_out_every_generation(self):
+        """The NVLink/NIC asymmetry that motivates SPTT holds everywhere."""
+        for spec in GENERATIONS.values():
+            assert spec.scale_up_bytes_per_s > 5 * spec.scale_out_bytes_per_s
+
+
+class TestUnitConversions:
+    def test_scale_out_gbps_to_bytes(self):
+        assert A100.scale_out_bytes_per_s == pytest.approx(25e9)
+
+    def test_peak_flops(self):
+        assert H100.peak_flops == pytest.approx(989e12)
+
+    def test_effective_flops_below_peak(self):
+        for spec in GENERATIONS.values():
+            assert 0 < spec.effective_flops < spec.peak_flops
+
+    def test_hbm_bandwidth_positive(self):
+        for spec in GENERATIONS.values():
+            assert spec.hbm_bytes_per_s > 1e11
+
+
+class TestLookup:
+    def test_get_spec_by_enum(self):
+        assert get_spec(GPUGeneration.H100) is H100
+
+    @pytest.mark.parametrize("name", ["v100", "V100", "a100", "H100", "h100"])
+    def test_get_spec_by_string_case_insensitive(self, name):
+        spec = get_spec(name)
+        assert spec.generation.value == name.upper()
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown GPU generation"):
+            get_spec("B200")
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            V100.peak_tflops = 1.0  # type: ignore[misc]

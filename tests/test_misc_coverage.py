@@ -1,0 +1,111 @@
+"""Gap-fill tests: introspection, tracing, and edge paths not covered
+by the feature-oriented suites."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cluster
+from repro.models import DLRM, tiny_table_configs
+from repro.models.configs import tiny_dlrm_arch
+from repro.models.xlrm import XLRMConfig, xlrm_paper_config
+from repro.nn import MLP, Linear, Sequential
+from repro.nn.module import Module, Parameter
+from repro.sim import Phase, Timeline
+
+
+class TestModuleIntrospection:
+    def test_modules_walks_tree(self):
+        mlp = MLP([4, 3, 2])
+        kinds = [type(m).__name__ for m in mlp.modules()]
+        assert kinds.count("Linear") == 2
+        assert "MLP" in kinds and "Sequential" in kinds
+
+    def test_named_parameters_paths_are_unique_and_stable(self):
+        model = DLRM(
+            4,
+            tiny_table_configs(3, 8, 8),
+            tiny_dlrm_arch(8),
+            rng=np.random.default_rng(0),
+        )
+        names1 = [n for n, _ in model.named_parameters()]
+        names2 = [n for n, _ in model.named_parameters()]
+        assert names1 == names2
+        assert len(names1) == len(set(names1))
+        assert any(n.startswith("embeddings.") for n in names1)
+        assert any(n.startswith("top.") for n in names1)
+
+    def test_parameters_in_lists_discovered(self):
+        class Holder(Module):
+            def __init__(self):
+                self.items = [Parameter(np.zeros(2)), Linear(2, 2)]
+
+        h = Holder()
+        assert h.num_parameters() == 2 + (4 + 2)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a = Linear(2, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="shape"):
+            a.load_state_dict(state)
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 2)
+        layer(np.ones((1, 2)))
+        layer.backward(np.ones((1, 2)))
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_base_module_abstract_methods(self):
+        m = Module()
+        with pytest.raises(NotImplementedError):
+            m.forward()
+        with pytest.raises(NotImplementedError):
+            m.backward(None)
+
+
+class TestTimelineExtras:
+    def test_bytes_by_phase(self):
+        tl = Timeline()
+        tl.add(Phase.EMBEDDING_COMM, "a", 0.1, nbytes=100)
+        tl.add(Phase.EMBEDDING_COMM, "b", 0.1, nbytes=50)
+        tl.add(Phase.DENSE_SYNC, "c", 0.1, nbytes=7)
+        by_phase = tl.bytes_by_phase()
+        assert by_phase[Phase.EMBEDDING_COMM] == 150
+        assert by_phase[Phase.DENSE_SYNC] == 7
+
+    def test_extend_and_clear(self):
+        a, b = Timeline(), Timeline()
+        a.add(Phase.COMPUTE, "x", 0.1)
+        b.add(Phase.COMPUTE, "y", 0.2)
+        a.extend(b)
+        assert len(a) == 2
+        a.clear()
+        assert len(a) == 0 and a.total() == 0.0
+
+
+class TestXLRMConfig:
+    def test_paper_config_parameter_count(self):
+        cfg = xlrm_paper_config()
+        assert cfg.total_parameters == pytest.approx(2e12, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XLRMConfig(0, 256, 1, 1.0, 1, 1)
+        with pytest.raises(ValueError):
+            XLRMConfig(1, 256, 1, -1.0, 1, 1)
+
+
+class TestSequentialIndexing:
+    def test_getitem_and_len(self):
+        seq = Sequential([Linear(2, 3), Linear(3, 4)])
+        assert len(seq) == 2
+        assert seq[1].out_features == 4
+
+
+class TestClusterRepr:
+    def test_reprs_do_not_crash(self):
+        c = Cluster(2, 2)
+        assert "Cluster" in repr(c)
+        assert "GPU" in repr(c.gpu(0))

@@ -1,0 +1,158 @@
+"""Tests for embedding tables and collections."""
+
+import numpy as np
+import pytest
+
+from repro.nn import EmbeddingBagCollection, EmbeddingTable, TableConfig
+from tests.util import numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def make_table(rows=10, dim=4, pooling=1, rng=None):
+    return EmbeddingTable(
+        TableConfig("t", num_embeddings=rows, dim=dim, pooling=pooling),
+        rng=rng or np.random.default_rng(0),
+    )
+
+
+class TestTableConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableConfig("t", 0, 4)
+        with pytest.raises(ValueError):
+            TableConfig("t", 4, 0)
+        with pytest.raises(ValueError):
+            TableConfig("t", 4, 4, pooling=0)
+
+    def test_num_parameters(self):
+        assert TableConfig("t", 100, 16).num_parameters == 1600
+
+    def test_bytes_per_sample(self):
+        assert TableConfig("t", 100, 16, pooling=3).bytes_per_sample() == 192
+
+
+class TestEmbeddingTable:
+    def test_single_hot_lookup(self, rng):
+        table = make_table(rng=rng)
+        ids = np.array([0, 3, 3, 9])
+        out = table(ids)
+        np.testing.assert_allclose(out, table.weight.data[ids])
+
+    def test_multi_hot_sum_pooling(self, rng):
+        table = make_table(pooling=2, rng=rng)
+        ids = np.array([[0, 1], [2, 2]])
+        out = table(ids)
+        w = table.weight.data
+        np.testing.assert_allclose(out[0], w[0] + w[1])
+        np.testing.assert_allclose(out[1], 2 * w[2])
+
+    def test_backward_scatter_add(self, rng):
+        table = make_table(rng=rng)
+        ids = np.array([1, 1, 4])
+        table(ids)
+        grad = np.arange(12, dtype=float).reshape(3, 4)
+        table.backward(grad)
+        np.testing.assert_allclose(table.weight.grad[1], grad[0] + grad[1])
+        np.testing.assert_allclose(table.weight.grad[4], grad[2])
+        np.testing.assert_allclose(table.weight.grad[0], 0)
+
+    def test_backward_multi_hot_duplicate_ids(self, rng):
+        """A row hit twice in one bag receives the gradient twice."""
+        table = make_table(pooling=2, rng=rng)
+        table(np.array([[5, 5]]))
+        grad = np.ones((1, 4))
+        table.backward(grad)
+        np.testing.assert_allclose(table.weight.grad[5], 2 * np.ones(4))
+
+    def test_gradient_matches_numeric(self, rng):
+        table = make_table(rows=6, dim=3, pooling=2, rng=rng)
+        ids = np.array([[0, 2], [2, 5], [1, 1]])
+        proj = rng.standard_normal((3, 3))
+
+        def loss(w):
+            old = table.weight.data
+            table.weight.data = w
+            try:
+                return float((table(ids) * proj).sum())
+            finally:
+                table.weight.data = old
+
+        table.zero_grad()
+        table(ids)
+        table.backward(proj)
+        num = numeric_grad(loss, table.weight.data.copy())
+        np.testing.assert_allclose(table.weight.grad, num, atol=1e-6)
+
+    def test_out_of_range_ids_raise(self, rng):
+        table = make_table(rows=5, rng=rng)
+        with pytest.raises(IndexError):
+            table(np.array([5]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_bad_ndim_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_table(rng=rng)(np.zeros((2, 2, 2), dtype=int))
+
+
+class TestEmbeddingBagCollection:
+    def make_ebc(self, rng, F=3, dim=4):
+        configs = [TableConfig(f"f{i}", 8 + i, dim) for i in range(F)]
+        return EmbeddingBagCollection(configs, rng=rng)
+
+    def test_forward_shape(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = np.zeros((5, 3), dtype=int)
+        assert ebc(ids).shape == (5, 3, 4)
+
+    def test_each_feature_uses_own_table(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = np.ones((1, 3), dtype=int)
+        out = ebc(ids)
+        for f in range(3):
+            np.testing.assert_allclose(out[0, f], ebc.tables[f].weight.data[1])
+
+    def test_multi_hot_input(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = np.zeros((2, 3, 2), dtype=int)
+        out = ebc(ids)
+        np.testing.assert_allclose(out[0, 0], 2 * ebc.tables[0].weight.data[0])
+
+    def test_backward_routes_per_feature(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = np.zeros((2, 3), dtype=int)
+        ebc(ids)
+        grad = np.zeros((2, 3, 4))
+        grad[:, 1] = 1.0
+        ebc.backward(grad)
+        np.testing.assert_allclose(ebc.tables[0].weight.grad, 0.0)
+        assert np.abs(ebc.tables[1].weight.grad).sum() > 0
+
+    def test_mixed_dims_rejected(self, rng):
+        with pytest.raises(ValueError, match="share dim"):
+            EmbeddingBagCollection(
+                [TableConfig("a", 4, 4), TableConfig("b", 4, 8)], rng=rng
+            )
+
+    def test_duplicate_names_rejected(self, rng):
+        with pytest.raises(ValueError, match="duplicate"):
+            EmbeddingBagCollection(
+                [TableConfig("a", 4, 4), TableConfig("a", 4, 4)], rng=rng
+            )
+
+    def test_feature_count_mismatch_raises(self, rng):
+        ebc = self.make_ebc(rng)
+        with pytest.raises(ValueError):
+            ebc(np.zeros((2, 5), dtype=int))
+
+    def test_num_parameters(self, rng):
+        ebc = self.make_ebc(rng)
+        assert ebc.num_parameters() == (8 + 9 + 10) * 4
+
+    def test_bytes_per_sample(self, rng):
+        ebc = self.make_ebc(rng)
+        assert ebc.bytes_per_sample() == 3 * 4 * 4

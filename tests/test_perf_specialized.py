@@ -1,0 +1,110 @@
+"""Tests for the §3.1.3 specialized SPTT variants."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hardware import Cluster
+from repro.perf import (
+    SpecializedSPTTModel,
+    SPTTOptions,
+    khost_peer_groups,
+    tower_supergroups,
+)
+from repro.perf.profiles import dmt_dlrm_profile, dmt_xlrm_profile
+
+B = 16384
+
+
+def towers_profile(towers: int):
+    return replace(
+        dmt_dlrm_profile(26), num_towers=towers, name=f"DMT-{towers}T"
+    )
+
+
+@pytest.fixture
+def model():
+    return SpecializedSPTTModel()
+
+
+class TestKHostGeometry:
+    def test_supergroups_partition_cluster(self):
+        cluster = Cluster(num_hosts=8, gpus_per_host=4)
+        groups = tower_supergroups(cluster, hosts_per_tower=2)
+        assert len(groups) == 4
+        seen = sorted(r for g in groups for r in g.ranks)
+        assert seen == list(range(32))
+        assert all(g.hosts_spanned == 2 for g in groups)
+
+    def test_khost_peer_groups_world_size(self):
+        cluster = Cluster(num_hosts=8, gpus_per_host=4)
+        peers = khost_peer_groups(cluster, hosts_per_tower=2)
+        assert len(peers) == 8  # K * L positions
+        assert all(p.world_size == 4 for p in peers)  # H / K towers
+        seen = sorted(r for p in peers for r in p.ranks)
+        assert seen == list(range(32))
+
+    def test_k1_matches_canonical_groups(self):
+        cluster = Cluster(num_hosts=4, gpus_per_host=2)
+        supers = tower_supergroups(cluster, 1)
+        assert [g.ranks for g in supers] == [
+            cluster.ranks_on_host(h) for h in range(4)
+        ]
+
+    def test_indivisible_hosts_rejected(self):
+        cluster = Cluster(num_hosts=6, gpus_per_host=2)
+        with pytest.raises(ValueError):
+            tower_supergroups(cluster, 4)
+
+
+class TestSpecializedModel:
+    def test_k1_plain_options_match_base_model(self, model):
+        cluster = Cluster(8, 8, "A100")
+        bd_spec = model.dmt(towers_profile(8), cluster, B, SPTTOptions())
+        bd_base = model.base.dmt(towers_profile(8), cluster, B)
+        assert bd_spec.total_s == pytest.approx(bd_base.total_s)
+
+    def test_khost_tradeoff_direction(self, model):
+        """§3.1.3: larger K shrinks the peer world but raises step (d);
+        with Figure 5's congestion curves the step-d cost dominates, so
+        total embedding communication grows with K at this scale."""
+        cluster = Cluster(64, 8, "A100")
+        sweep = model.khost_sweep(towers_profile, cluster, B, (1, 2, 4))
+        embs = [sweep[k].emb_comm_total_s for k in (1, 2, 4)]
+        assert embs[0] < embs[1] < embs[2]
+
+    def test_khost_tower_count_validation(self, model):
+        cluster = Cluster(8, 8, "A100")
+        with pytest.raises(ValueError, match="towers"):
+            model.dmt(
+                towers_profile(8), cluster, B, SPTTOptions(hosts_per_tower=2)
+            )
+
+    def test_multi_hot_reducescatter_cheaper(self, model):
+        """Row-wise shards turn step (d) into a ReduceScatter."""
+        cluster = Cluster(16, 8, "A100")
+        profile = replace(dmt_xlrm_profile(16), num_towers=16)
+        a2a = model.dmt(profile, cluster, 4096, SPTTOptions(hosts_per_tower=1, multi_hot_reducescatter=False, virtual_peer_order=True))
+        rs = model.dmt(profile, cluster, 4096, SPTTOptions(hosts_per_tower=1, multi_hot_reducescatter=True, virtual_peer_order=True))
+        assert rs.emb_comm_total_s <= a2a.emb_comm_total_s
+
+    def test_swap_shuffle_helps_when_ids_small(self, model):
+        """§3.1.3: permute the ids instead of the (larger) embeddings."""
+        cluster = Cluster(8, 8, "A100")
+        profile = towers_profile(8)
+        plain = model.dmt(profile, cluster, B, SPTTOptions(swap_shuffle=False))
+        swapped = model.dmt(profile, cluster, B, SPTTOptions(swap_shuffle=True))
+        assert swapped.compute_s <= plain.compute_s
+
+    def test_virtual_peer_order_removes_shuffle(self, model):
+        cluster = Cluster(8, 8, "A100")
+        profile = towers_profile(8)
+        plain = model.dmt(profile, cluster, B, SPTTOptions(swap_shuffle=True))
+        virtual = model.dmt(
+            profile, cluster, B, SPTTOptions(virtual_peer_order=True)
+        )
+        assert virtual.compute_s < plain.compute_s
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SPTTOptions(hosts_per_tower=0)

@@ -1,0 +1,63 @@
+"""Shared test helpers: numerical gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numeric_grad(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function at x."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_module_gradients(
+    module, x: np.ndarray, rng: np.random.Generator, atol: float = 1e-6
+) -> None:
+    """Verify analytic input+parameter grads against central differences.
+
+    Uses a random linear functional of the module output as the scalar
+    loss so every output element participates.
+    """
+    out = module(x)
+    proj = rng.standard_normal(out.shape)
+
+    def loss_given_input(x_val: np.ndarray) -> float:
+        return float((module(x_val) * proj).sum())
+
+    module.zero_grad()
+    module(x)
+    grad_in = module.backward(proj)
+    num_in = numeric_grad(loss_given_input, x.copy())
+    np.testing.assert_allclose(grad_in, num_in, atol=atol, rtol=1e-4)
+
+    for name, p in module.named_parameters():
+        analytic = p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+
+        def loss_given_param(val: np.ndarray, p=p) -> float:
+            old = p.data
+            p.data = val
+            try:
+                return float((module(x) * proj).sum())
+            finally:
+                p.data = old
+
+        num_p = numeric_grad(loss_given_param, p.data.copy())
+        np.testing.assert_allclose(
+            analytic, num_p, atol=atol, rtol=1e-4, err_msg=f"param {name}"
+        )
