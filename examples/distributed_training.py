@@ -1,76 +1,41 @@
 """Distributed DMT training on a simulated cluster, verified exactly.
 
-Runs real multi-rank training — model-parallel embedding tables, SPTT
-exchange, per-host tower modules with intra-host gradient sync, and a
-data-parallel overarch — on a simulated 2-host x 2-GPU cluster, and
-checks step-by-step that it matches single-process training on the
-same global batches.  Finishes with the priced communication timeline.
+One RunSpec with ``train.mode='simulated'`` runs real multi-rank
+training — model-parallel embedding tables, SPTT exchange, per-host
+tower modules with intra-host gradient sync, and a data-parallel
+overarch — on a simulated 2-host x 2-GPU cluster, and (because
+``train.verify`` is on) checks step-by-step that it matches
+single-process training on the same global batches.  Finishes with the
+priced communication timeline.
 
 Run:  python examples/distributed_training.py
 """
 
-import numpy as np
-
-from repro.core.dmt_pipeline import DistributedDMTTrainer
-from repro.core.partition import FeaturePartition
-from repro.data import SyntheticCriteoConfig, SyntheticCriteoDataset
-from repro.hardware import Cluster
-from repro.models import DMTDLRM, tiny_table_configs
-from repro.models.configs import DenseArch
-from repro.nn import Adam, BCEWithLogitsLoss
-from repro.sim import SimCluster
-
-STEPS = 8
-GLOBAL_BATCH = 128
-
-
-def build_model(seed: int) -> DMTDLRM:
-    return DMTDLRM(
-        13,
-        tiny_table_configs(8, 32, 16),
-        FeaturePartition.contiguous(8, 2),
-        DenseArch(embedding_dim=16, bottom_mlp=(32,), top_mlp=(32,)),
-        tower_dim=8,
-        rng=np.random.default_rng(seed),
-    )
+from repro.api import Session
+from repro.api.presets import distributed_training_spec
 
 
 def main() -> None:
-    dataset = SyntheticCriteoDataset(
-        SyntheticCriteoConfig(num_sparse=8, num_blocks=2, cardinality=32),
-        seed=0,
-    )
-    sim = SimCluster(Cluster(num_hosts=2, gpus_per_host=2, generation="A100"))
-    print(f"simulated cluster: {sim.cluster}")
+    session = Session(distributed_training_spec())
+    print(f"simulated cluster: {session.build_cluster()}")
 
-    dist_model = build_model(42)
-    ref_model = build_model(42)
-    trainer = DistributedDMTTrainer(sim, dist_model)
-    opt_dist = Adam(dist_model.parameters(), lr=0.01)
-    opt_ref = Adam(ref_model.parameters(), lr=0.01)
-    loss_mod = BCEWithLogitsLoss()
-
+    art = session.train()
     print(f"\n{'step':>4} {'distributed':>12} {'single-proc':>12} {'|delta|':>10}")
-    for step in range(STEPS):
-        dense, ids, labels = dataset.sample(GLOBAL_BATCH, seed=100 + step)
-        dist_loss = trainer.fit_step(dense, ids, labels, [opt_dist])
-        opt_ref.zero_grad()
-        ref_loss = loss_mod(ref_model(dense, ids), labels)
-        ref_model.backward(loss_mod.backward())
-        opt_ref.step()
+    for step, (dist_loss, ref_loss) in enumerate(
+        zip(art.losses, art.ref_losses)
+    ):
         print(
             f"{step:>4} {dist_loss:>12.6f} {ref_loss:>12.6f} "
             f"{abs(dist_loss - ref_loss):>10.2e}"
         )
 
-    drift = max(
-        float(np.abs(p1.data - p2.data).max())
-        for p1, p2 in zip(dist_model.parameters(), ref_model.parameters())
+    print(
+        f"\nmax parameter drift after {len(art.losses)} steps: "
+        f"{art.max_drift:.2e}"
     )
-    print(f"\nmax parameter drift after {STEPS} steps: {drift:.2e}")
 
     print("\npriced timeline of the final step (per phase):")
-    print(sim.timeline.format_table())
+    print(art.timeline)
 
 
 if __name__ == "__main__":

@@ -1,24 +1,24 @@
 """Quickstart: price a training iteration under both paradigms.
 
-Builds the paper's 64xH100 cluster, loads the measured DCN profile,
-and compares hybrid-parallel baseline vs DMT iteration latency — the
-60-second version of Figures 1 and 13.
+One declarative RunSpec — the paper's 64xH100 cluster with the measured
+DCN profile — priced through the `repro.api` session layer: hybrid
+baseline vs DMT iteration latency, the 60-second version of Figures 1
+and 13.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.hardware import Cluster
-from repro.perf.iteration_model import IterationLatencyModel
-from repro.perf.profiles import dmt_dcn_profile, paper_dcn_profile
+from repro.api import Session
+from repro.api.presets import quickstart_spec
 
 
 def main() -> None:
-    cluster = Cluster(num_hosts=8, gpus_per_host=8, generation="H100")
-    print(f"cluster: {cluster}")
+    spec = quickstart_spec()
+    session = Session(spec)
+    print(f"cluster: {session.build_cluster()}")
 
-    model = IterationLatencyModel()
-    baseline = model.hybrid(paper_dcn_profile(), cluster, local_batch=16384)
-    dmt = model.dmt(dmt_dcn_profile(num_towers=8), cluster, local_batch=16384)
+    price = session.price()
+    baseline, dmt = price.baseline, price.dmt
 
     print("\nper-iteration latency (one GPU):")
     print(" ", baseline.format_row())
@@ -28,10 +28,13 @@ def main() -> None:
     for component, share in baseline.percentages().items():
         print(f"  {component:<20} {share:5.1f}%")
 
-    print(f"\nDMT speedup: {dmt.speedup_over(baseline):.2f}x")
+    print(f"\nDMT speedup: {price.speedup:.2f}x")
     print(
         "paper: ~1.6x for DCN at 64 GPUs; up to 1.9x for DLRM at larger scale"
     )
+
+    print("\nthe same run as a declarative spec (dmt-repro run-spec):")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

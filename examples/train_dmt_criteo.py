@@ -1,9 +1,10 @@
 """End-to-end quality workflow on synthetic Criteo-like click logs.
 
-The full §3.3 pipeline a practitioner would run:
+The full §3.3 pipeline a practitioner would run, expressed as one
+declarative RunSpec executed by the `repro.api` session layer:
 
 1. generate click logs (planted block-structured interactions);
-2. train a flat DLRM baseline;
+2. train a flat DLRM probe (the baseline);
 3. probe its embeddings -> feature interaction matrix -> Tower
    Partitioner (coherent strategy);
 4. train the DMT model under the learned partition (with compressing
@@ -13,68 +14,47 @@ The full §3.3 pipeline a practitioner would run:
 Run:  python examples/train_dmt_criteo.py
 """
 
-import numpy as np
-
-from repro.core.partition import FeaturePartition
-from repro.data import SyntheticCriteoConfig, SyntheticCriteoDataset, train_eval_split
-from repro.models import DLRM, DMTDLRM, tiny_table_configs
-from repro.models.configs import DenseArch
-from repro.partitioner import TowerPartitioner, interaction_from_activations
-from repro.training import TrainConfig, Trainer
-
-NUM_TOWERS = 4
+from repro.api import Session
+from repro.api.presets import naive_control_spec, train_dmt_criteo_spec
+from repro.partitioner import TowerPartitioner
 
 
 def main() -> None:
-    config = SyntheticCriteoConfig(
-        num_sparse=26, num_blocks=4, cardinality=48, rho=0.9, noise=0.5,
-        cross_strength=0.0,
-    )
-    dataset = SyntheticCriteoDataset(config, seed=0)
-    (td, ti, tl), (ed, ei, el) = train_eval_split(
-        *dataset.sample(12000, seed=1), eval_fraction=1 / 3
-    )
-    print(f"train {len(tl)} samples / eval {len(el)} samples")
-    print(f"planted blocks: {dataset.true_partition.groups}")
+    spec = train_dmt_criteo_spec()
+    tp_session = Session(spec)
 
-    arch = DenseArch(embedding_dim=16, bottom_mlp=(32,), top_mlp=(64, 32))
-    tables = tiny_table_configs(26, 48, 16)
+    # 1. Click logs.
+    data = tp_session.load_data()
+    print(f"train {data.num_train} samples / eval {data.num_eval} samples")
+    print(f"planted blocks: {data.dataset.true_partition.groups}")
 
-    # 1-2. Flat baseline.
-    baseline = DLRM(13, tables, arch, rng=np.random.default_rng(7))
-    trainer = Trainer(
-        baseline, TrainConfig(batch_size=256, epochs=2, seed=7, sparse_lr=0.05)
-    )
-    trainer.fit(td, ti, tl)
-    base_eval = trainer.evaluate(ed, ei, el)
-    print(f"\nflat DLRM baseline: {base_eval}")
-
-    # 3. Probe + Tower Partitioner.
-    interaction = interaction_from_activations(
-        baseline.embeddings(ti[:6000]), center=True
-    )
-    tp = TowerPartitioner(NUM_TOWERS, strategy="coherent", mds_iterations=800)
-    result = tp.partition_from_interaction(interaction, rng=np.random.default_rng(0))
-    print(f"\nTP partition: {result.partition.groups}")
-    print(
-        f"within-group interaction: TP {result.within_group_interaction:.3f} "
-        f"vs naive "
-        f"{TowerPartitioner.within_group_score(interaction, FeaturePartition.strided(26, NUM_TOWERS)):.3f}"
-    )
+    # 2-3. Flat probe baseline + Tower Partitioner (one cached stage).
+    part = tp_session.partition()
+    print(f"\nflat DLRM baseline: {part.probe_eval}")
+    print(f"\nTP partition: {part.partition.groups}")
 
     # 4-5. DMT with learned vs naive partition (flat-bottleneck towers).
-    for name, partition in (
-        ("TP (coherent)", result.partition),
-        ("naive strided", FeaturePartition.strided(26, NUM_TOWERS)),
+    naive_spec = naive_control_spec(spec)
+    naive_session = Session(naive_spec)
+    naive_wg = TowerPartitioner.within_group_score(
+        part.tp_result.interaction, naive_session.partition().partition
+    )
+    print(
+        f"within-group interaction: TP "
+        f"{part.tp_result.within_group_interaction:.3f} vs naive {naive_wg:.3f}"
+    )
+    for label, session in (
+        ("TP (coherent)", tp_session),
+        ("naive strided", naive_session),
     ):
-        model = DMTDLRM(
-            13, tables, partition, arch, tower_dim=1, c=0, p=1,
-            rng=np.random.default_rng(11),
+        art = session.train()
+        print(
+            f"DMT 4T-DLRM [{label:>14}]: {art.eval_result}  "
+            f"CR={art.model.compression_ratio():.0f}"
         )
-        t = Trainer(model, TrainConfig(batch_size=256, epochs=2, seed=11))
-        t.fit(td, ti, tl)
-        ev = t.evaluate(ed, ei, el)
-        print(f"DMT 4T-DLRM [{name:>14}]: {ev}  CR={model.compression_ratio():.0f}")
+
+    print("\nre-execute this exact run:  dmt-repro run-spec spec.json")
+    print("(write the spec with: spec.save('spec.json'))")
 
 
 if __name__ == "__main__":

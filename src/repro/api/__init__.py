@@ -1,0 +1,63 @@
+"""One declarative entry point: config -> partition -> plan -> train -> price.
+
+The session layer composes the existing subpackages behind a single
+facade so consumers stop re-wiring the pipeline by hand:
+
+- :mod:`repro.api.spec` — the :class:`RunSpec` dataclass tree
+  (cluster / data / model / partition / train / perf sections) with
+  validation and dict/JSON round-tripping;
+- :mod:`repro.api.session` — the :class:`Session` facade whose staged
+  methods lazily build and cache artifacts, plus the :func:`spec_auc_sweep`
+  seed-sweep helper;
+- :mod:`repro.api.results` — per-stage artifacts and the aggregate
+  :class:`RunResult`;
+- :mod:`repro.api.presets` — canonical RunSpecs for the example
+  workflows.
+
+Quick taste::
+
+    from repro.api import Session
+    from repro.api.presets import quickstart_spec
+
+    result = Session(quickstart_spec()).run()
+    print(result.render())
+"""
+
+from repro.api.spec import (
+    ClusterSpec,
+    DataSpec,
+    ModelSpec,
+    PartitionSpec,
+    PerfSpec,
+    RunSpec,
+    SpecError,
+    TrainSpec,
+)
+from repro.api.results import (
+    DataArtifact,
+    PartitionArtifact,
+    PlanArtifact,
+    PriceArtifact,
+    RunResult,
+    TrainArtifact,
+)
+from repro.api.session import Session, spec_auc_sweep
+
+__all__ = [
+    "ClusterSpec",
+    "DataSpec",
+    "ModelSpec",
+    "PartitionSpec",
+    "TrainSpec",
+    "PerfSpec",
+    "RunSpec",
+    "SpecError",
+    "Session",
+    "spec_auc_sweep",
+    "DataArtifact",
+    "PartitionArtifact",
+    "PlanArtifact",
+    "TrainArtifact",
+    "PriceArtifact",
+    "RunResult",
+]

@@ -1,0 +1,269 @@
+"""Stage artifacts and the aggregate result of a :class:`Session` run.
+
+Each staged method of :class:`repro.api.Session` returns one of the
+artifact dataclasses below; :meth:`Session.run` collects them into a
+:class:`RunResult` that renders as text or serializes to JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import json
+
+import numpy as np
+
+from repro.core.partition import FeaturePartition
+from repro.data import SyntheticCriteoDataset
+from repro.hardware import Cluster
+from repro.jsonutil import jsonable
+from repro.partitioner import TPResult
+from repro.perf.iteration_model import IterationBreakdown
+from repro.planner import ShardingPlan
+from repro.training import EvalResult
+
+__all__ = [
+    "DataArtifact",
+    "PartitionArtifact",
+    "PlanArtifact",
+    "TrainArtifact",
+    "PriceArtifact",
+    "RunResult",
+    "jsonable",
+]
+
+Batch = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _breakdown_dict(bd: IterationBreakdown) -> Dict[str, float]:
+    return {
+        "name": bd.name,
+        "compute_ms": bd.compute_s * 1e3,
+        "exposed_emb_ms": bd.exposed_emb_s * 1e3,
+        "exposed_dense_ms": bd.exposed_dense_s * 1e3,
+        "other_ms": bd.other_s * 1e3,
+        "total_ms": bd.total_s * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class DataArtifact:
+    """Generated click logs plus the train/eval split."""
+
+    dataset: SyntheticCriteoDataset
+    train: Batch
+    eval: Batch
+
+    @property
+    def num_train(self) -> int:
+        return len(self.train[2])
+
+    @property
+    def num_eval(self) -> int:
+        return len(self.eval[2])
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "train_samples": self.num_train,
+            "eval_samples": self.num_eval,
+            "num_sparse": int(self.train[1].shape[1]),
+            "planted_blocks": [list(g) for g in self.dataset.true_partition],
+        }
+
+
+@dataclass
+class PartitionArtifact:
+    """The feature-to-tower assignment and (for probed strategies) the
+    full TP pipeline artifacts."""
+
+    strategy: str
+    partition: FeaturePartition
+    tp_result: Optional[TPResult] = None
+    probe_eval: Optional[EvalResult] = None
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "strategy": self.strategy,
+            "num_towers": self.partition.num_towers,
+            "groups": [list(g) for g in self.partition.groups],
+        }
+        if self.tp_result is not None:
+            out["within_group_interaction"] = float(
+                self.tp_result.within_group_interaction
+            )
+        if self.probe_eval is not None:
+            out["probe_auc"] = float(self.probe_eval.auc)
+        return out
+
+
+@dataclass
+class PlanArtifact:
+    """Embedding sharding plan over the session's cluster."""
+
+    plan: ShardingPlan
+    scale: str  # "tiny" | "paper"
+    batch_size: int
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "world_size": self.plan.world_size,
+            "num_shards": len(self.plan.shards),
+            "imbalance": float(self.plan.imbalance(self.batch_size)),
+        }
+
+
+@dataclass
+class TrainArtifact:
+    """Outcome of the training stage.
+
+    ``mode='single'``: ``trainer``/``eval_result``/``epoch_losses``.
+    ``mode='simulated'``: per-step ``losses`` (and, when verification
+    is on, ``ref_losses`` plus the ``max_drift`` between distributed
+    and single-process parameters), and the priced ``timeline`` text.
+    """
+
+    mode: str
+    model: Any
+    eval_result: Optional[EvalResult] = None
+    epoch_losses: List[float] = field(default_factory=list)
+    trainer: Any = None
+    losses: List[float] = field(default_factory=list)
+    ref_losses: List[float] = field(default_factory=list)
+    max_drift: Optional[float] = None
+    timeline: Optional[str] = None
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"mode": self.mode}
+        if self.eval_result is not None:
+            out.update(
+                auc=float(self.eval_result.auc),
+                log_loss=float(self.eval_result.log_loss),
+                normalized_entropy=float(self.eval_result.normalized_entropy),
+                epoch_losses=[float(x) for x in self.epoch_losses],
+            )
+        if self.losses:
+            out["step_losses"] = [float(x) for x in self.losses]
+        if self.ref_losses:
+            out["ref_step_losses"] = [float(x) for x in self.ref_losses]
+        if self.max_drift is not None:
+            out["max_drift"] = float(self.max_drift)
+        if hasattr(self.model, "compression_ratio"):
+            out["compression_ratio"] = float(self.model.compression_ratio())
+        return out
+
+
+@dataclass
+class PriceArtifact:
+    """Modeled per-iteration latency: hybrid baseline vs DMT."""
+
+    baseline: IterationBreakdown
+    dmt: IterationBreakdown
+
+    @property
+    def speedup(self) -> float:
+        return self.dmt.speedup_over(self.baseline)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "baseline": _breakdown_dict(self.baseline),
+            "dmt": _breakdown_dict(self.dmt),
+            "speedup": float(self.speedup),
+        }
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Everything one :meth:`Session.run` produced."""
+
+    name: str
+    spec: Dict[str, Any]
+    cluster: Dict[str, Any]
+    data: Optional[Dict[str, Any]] = None
+    partition: Optional[Dict[str, Any]] = None
+    plan: Optional[Dict[str, Any]] = None
+    train: Optional[Dict[str, Any]] = None
+    price: Optional[Dict[str, Any]] = None
+
+    @staticmethod
+    def cluster_summary(cluster: Cluster) -> Dict[str, Any]:
+        return {
+            "num_hosts": cluster.num_hosts,
+            "gpus_per_host": cluster.gpus_per_host,
+            "generation": str(cluster.spec.generation),
+            "world_size": cluster.world_size,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "spec": self.spec}
+        for section in ("cluster", "data", "partition", "plan", "train", "price"):
+            value = getattr(self, section)
+            if value is not None:
+                out[section] = value
+        return jsonable(out)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable multi-section report."""
+        lines = [f"== run: {self.name} =="]
+        c = self.cluster
+        lines.append(
+            f"cluster: {c['num_hosts']} hosts x {c['gpus_per_host']} "
+            f"{c['generation']} GPUs ({c['world_size']} total)"
+        )
+        if self.data is not None:
+            lines.append(
+                f"data: {self.data['train_samples']} train / "
+                f"{self.data['eval_samples']} eval samples, "
+                f"{self.data['num_sparse']} sparse features"
+            )
+        if self.partition is not None:
+            p = self.partition
+            lines.append(
+                f"partition [{p['strategy']}]: {p['num_towers']} towers "
+                f"{p['groups']}"
+            )
+            if "probe_auc" in p:
+                lines.append(f"  probe AUC {p['probe_auc']:.4f}")
+            if "within_group_interaction" in p:
+                lines.append(
+                    f"  within-group interaction "
+                    f"{p['within_group_interaction']:.3f}"
+                )
+        if self.plan is not None:
+            pl = self.plan
+            lines.append(
+                f"plan [{pl['scale']} scale]: {pl['num_shards']} shards over "
+                f"{pl['world_size']} ranks, imbalance {pl['imbalance']:.2f}"
+            )
+        if self.train is not None:
+            t = self.train
+            if "auc" in t:
+                lines.append(
+                    f"train [{t['mode']}]: AUC={t['auc']:.4f} "
+                    f"LogLoss={t['log_loss']:.4f} "
+                    f"NE={t['normalized_entropy']:.4f}"
+                )
+            else:
+                lines.append(
+                    f"train [{t['mode']}]: {len(t.get('step_losses', []))} "
+                    f"steps, final loss "
+                    f"{t.get('step_losses', [float('nan')])[-1]:.6f}"
+                )
+            if "max_drift" in t:
+                lines.append(f"  max drift vs single-process {t['max_drift']:.2e}")
+            if "compression_ratio" in t:
+                lines.append(f"  compression ratio {t['compression_ratio']:.0f}")
+        if self.price is not None:
+            pr = self.price
+            lines.append(
+                f"price: baseline {pr['baseline']['total_ms']:.2f} ms vs "
+                f"DMT {pr['dmt']['total_ms']:.2f} ms -> "
+                f"{pr['speedup']:.2f}x speedup"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,477 @@
+"""The :class:`Session` facade: lazy, staged execution of a RunSpec.
+
+``Session(RunSpec(...)).run()`` reproduces the paper's full §3.3
+workflow — generate click logs, train a probe, learn the tower
+partition, build the DMT model, shard the tables, train, and price the
+iteration — in one call.  Each stage is also callable on its own
+(``build_cluster`` / ``load_data`` / ``build_model`` / ``partition`` /
+``plan`` / ``train`` / ``price``); stages compose the existing
+subpackages, cache their artifacts on the session, and pull in their
+prerequisites lazily, so a pricing-only spec never touches the data
+generator and a quality-only spec never builds paper-scale profiles.
+
+Dataset generation and the probe->TP pipeline are additionally cached
+*across* sessions (keyed by their spec sections), so seed sweeps that
+only vary model/train seeds — the §5.2 protocol — pay for data and
+partitioning once.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.api.results import (
+    DataArtifact,
+    PartitionArtifact,
+    PlanArtifact,
+    PriceArtifact,
+    RunResult,
+    TrainArtifact,
+)
+from repro.api.spec import DataSpec, ModelSpec, PartitionSpec, RunSpec, SpecError
+from repro.core.dmt_pipeline import DistributedDMTTrainer
+from repro.core.partition import FeaturePartition
+from repro.data import (
+    SyntheticCriteoConfig,
+    SyntheticCriteoDataset,
+    train_eval_split,
+)
+from repro.hardware import Cluster
+from repro.models import DCN, DLRM, DMTDCN, DMTDLRM, criteo_table_configs, tiny_table_configs
+from repro.models.configs import DenseArch
+from repro.nn import Adam, BCEWithLogitsLoss
+from repro.partitioner import TowerPartitioner, interaction_from_activations
+from repro.perf.iteration_model import IterationLatencyModel
+from repro.perf.profiles import baseline_profile, dmt_profile_for_towers
+from repro.planner import AutoPlanner
+from repro.sim import SimCluster
+from repro.training import TrainConfig, Trainer
+
+__all__ = ["Session", "spec_auc_sweep"]
+
+#: Probe-arch key: the dense sizing the probe model shares with the spec.
+_ArchKey = Tuple[int, Tuple[int, ...], Tuple[int, ...]]
+
+
+@functools.lru_cache(maxsize=16)
+def _dataset_for(data: DataSpec) -> SyntheticCriteoDataset:
+    config = SyntheticCriteoConfig(
+        num_dense=data.num_dense,
+        num_sparse=data.num_sparse,
+        cardinality=data.cardinality,
+        num_blocks=data.num_blocks,
+        rho=data.rho,
+        noise=data.noise,
+        cross_strength=data.cross_strength,
+    )
+    return SyntheticCriteoDataset(config, seed=data.dataset_seed)
+
+
+@functools.lru_cache(maxsize=16)
+def _split_for(data: DataSpec):
+    dataset = _dataset_for(data)
+    return train_eval_split(
+        *dataset.sample(data.num_samples, seed=data.sample_seed),
+        eval_fraction=data.eval_fraction,
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def _probed_partition(
+    data: DataSpec, part: PartitionSpec, arch_key: _ArchKey
+):
+    """Train a flat probe, measure interactions, run the TP pipeline.
+
+    Returns ``(TPResult, probe EvalResult)``.  Cached across sessions:
+    a seed sweep re-partitions once, exactly like the hand-wired
+    ``learned_tp_partition`` helper it replaces.
+    """
+    embedding_dim, bottom_mlp, top_mlp = arch_key
+    (td, ti, tl), (ed, ei, el) = _split_for(data)
+    tables = tiny_table_configs(data.num_sparse, data.cardinality, embedding_dim)
+    arch = DenseArch(
+        embedding_dim=embedding_dim, bottom_mlp=bottom_mlp, top_mlp=top_mlp
+    )
+    probe = DLRM(
+        data.num_dense, tables, arch, rng=np.random.default_rng(part.probe_seed)
+    )
+    trainer = Trainer(
+        probe,
+        TrainConfig(
+            batch_size=part.probe_batch_size,
+            epochs=part.probe_epochs,
+            seed=part.probe_seed,
+            sparse_lr=part.probe_sparse_lr,
+        ),
+    )
+    trainer.fit(td, ti, tl)
+    probe_eval = trainer.evaluate(ed, ei, el)
+    interaction = interaction_from_activations(
+        probe.embeddings(ti[: part.probe_samples]), center=True
+    )
+    tp = TowerPartitioner(
+        part.num_towers,
+        strategy=part.tp_distance,
+        mds_iterations=part.mds_iterations,
+    )
+    result = tp.partition_from_interaction(
+        interaction, rng=np.random.default_rng(part.kmeans_seed)
+    )
+    return result, probe_eval
+
+
+def clear_caches() -> None:
+    """Drop the cross-session dataset / probe caches (mainly for tests)."""
+    _dataset_for.cache_clear()
+    _split_for.cache_clear()
+    _probed_partition.cache_clear()
+
+
+# ----------------------------------------------------------------------
+class Session:
+    """Staged, cached execution of one :class:`RunSpec`.
+
+    Examples
+    --------
+    >>> from repro.api import ClusterSpec, PerfSpec, RunSpec, Session
+    >>> spec = RunSpec(cluster=ClusterSpec(8, 8, "H100"),
+    ...                perf=PerfSpec(kind="dcn", num_towers=8))
+    >>> art = Session(spec).price()
+    >>> art.speedup > 1.0
+    True
+    """
+
+    def __init__(self, spec: "RunSpec | Dict[str, Any]"):
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        if not isinstance(spec, RunSpec):
+            raise SpecError(
+                f"Session expects a RunSpec or dict, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self._artifacts: Dict[str, Any] = {}
+
+    def _stage(self, name: str, builder) -> Any:
+        if name not in self._artifacts:
+            self._artifacts[name] = builder()
+        return self._artifacts[name]
+
+    def _need(self, section: str) -> Any:
+        value = getattr(self.spec, section)
+        if value is None:
+            raise SpecError(
+                f"spec {self.spec.name!r} has no {section} section, "
+                f"required by this stage"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def build_cluster(self) -> Cluster:
+        """The modeled datacenter topology."""
+        return self._stage(
+            "cluster",
+            lambda: Cluster(
+                self.spec.cluster.num_hosts,
+                self.spec.cluster.gpus_per_host,
+                self.spec.cluster.generation,
+            ),
+        )
+
+    def load_data(self) -> DataArtifact:
+        """Generate click logs and split them (cached across sessions)."""
+
+        def build() -> DataArtifact:
+            data = self._need("data")
+            train, evals = _split_for(data)
+            return DataArtifact(
+                dataset=_dataset_for(data), train=train, eval=evals
+            )
+
+        return self._stage("data", build)
+
+    def partition(self) -> PartitionArtifact:
+        """Assign features to towers per the partition strategy."""
+
+        def build() -> PartitionArtifact:
+            part: PartitionSpec = self._need("partition")
+            if part.strategy == "given":
+                assert part.groups is not None  # enforced by the spec
+                return PartitionArtifact(
+                    strategy=part.strategy,
+                    partition=FeaturePartition.from_groups(part.groups),
+                )
+            if part.strategy in ("naive", "contiguous"):
+                data = self._need("data")
+                maker = (
+                    FeaturePartition.strided
+                    if part.strategy == "naive"
+                    else FeaturePartition.contiguous
+                )
+                return PartitionArtifact(
+                    strategy=part.strategy,
+                    partition=maker(data.num_sparse, part.num_towers),
+                )
+            # probe / coherent / diverse: the learned §3.3 pipeline.
+            model: ModelSpec = self._need("model")
+            arch_key = (model.embedding_dim, model.bottom_mlp, model.top_mlp)
+            # Normalize alias strategies ('probe' == 'coherent') so
+            # they share one cache entry.
+            cache_part = part.replace(strategy=part.tp_distance)
+            tp_result, probe_eval = _probed_partition(
+                self._need("data"), cache_part, arch_key
+            )
+            return PartitionArtifact(
+                strategy=part.strategy,
+                partition=tp_result.partition,
+                tp_result=tp_result,
+                probe_eval=probe_eval,
+            )
+
+        return self._stage("partition", build)
+
+    def _make_model(self):
+        """A fresh model instance per the model spec (not cached)."""
+        data: DataSpec = self._need("data")
+        model: ModelSpec = self._need("model")
+        tables = tiny_table_configs(
+            data.num_sparse, data.cardinality, model.embedding_dim
+        )
+        arch = DenseArch(
+            embedding_dim=model.embedding_dim,
+            bottom_mlp=model.bottom_mlp,
+            top_mlp=model.top_mlp,
+            cross_layers=model.cross_layers,
+        )
+        rng = np.random.default_rng(model.seed)
+        if model.variant == "flat":
+            cls = DLRM if model.family == "dlrm" else DCN
+            return cls(data.num_dense, tables, arch, rng=rng)
+        partition = self.partition().partition
+        if model.family == "dlrm":
+            return DMTDLRM(
+                data.num_dense,
+                tables,
+                partition,
+                arch,
+                tower_dim=model.tower_dim,
+                c=model.c,
+                p=model.p,
+                pass_through=model.pass_through,
+                rng=rng,
+            )
+        return DMTDCN(
+            data.num_dense,
+            tables,
+            partition,
+            arch,
+            tower_dim=model.tower_dim,
+            pass_through=model.pass_through,
+            rng=rng,
+        )
+
+    def build_model(self):
+        """The spec's model (DMT variants consume the partition stage)."""
+        return self._stage("model", self._make_model)
+
+    def plan(self) -> PlanArtifact:
+        """Shard the embedding tables across the cluster's ranks.
+
+        Quality specs (with a data section) shard the tiny tables they
+        train; pricing-only specs shard the paper-scale Criteo tables
+        (§5.1's setting).
+        """
+
+        def build() -> PlanArtifact:
+            cluster = self.build_cluster()
+            if self.spec.data is not None:
+                dim = (
+                    self.spec.model.embedding_dim
+                    if self.spec.model is not None
+                    else 16
+                )
+                tables = tiny_table_configs(
+                    self.spec.data.num_sparse, self.spec.data.cardinality, dim
+                )
+                scale = "tiny"
+                train = self.spec.train
+                if train is None:
+                    batch = 256
+                elif train.mode == "single":
+                    batch = train.batch_size
+                else:
+                    batch = train.global_batch
+            else:
+                tables = criteo_table_configs()
+                scale, batch = "paper", (
+                    self.spec.perf.local_batch
+                    if self.spec.perf is not None
+                    else 16384
+                )
+            plan = AutoPlanner(cluster.world_size).plan(tables)
+            return PlanArtifact(plan=plan, scale=scale, batch_size=batch)
+
+        return self._stage("plan", build)
+
+    def train(self) -> TrainArtifact:
+        """Run the training stage (single-process or simulated cluster)."""
+
+        def build() -> TrainArtifact:
+            train = self._need("train")
+            if train.mode == "single":
+                return self._train_single()
+            return self._train_simulated()
+
+        return self._stage("train", build)
+
+    def _train_single(self) -> TrainArtifact:
+        train = self.spec.train
+        art = self.load_data()
+        model = self.build_model()
+        trainer = Trainer(
+            model,
+            TrainConfig(
+                batch_size=train.batch_size,
+                epochs=train.epochs,
+                dense_lr=train.dense_lr,
+                sparse_lr=train.sparse_lr,
+                dense_optimizer=train.dense_optimizer,
+                warmup_steps=train.warmup_steps,
+                seed=train.seed,
+            ),
+        )
+        epoch_losses = trainer.fit(*art.train)
+        eval_result = trainer.evaluate(*art.eval)
+        return TrainArtifact(
+            mode="single",
+            model=model,
+            trainer=trainer,
+            eval_result=eval_result,
+            epoch_losses=[float(x) for x in epoch_losses],
+        )
+
+    def _train_simulated(self) -> TrainArtifact:
+        train = self.spec.train
+        dataset = _dataset_for(self._need("data"))
+        sim = SimCluster(self.build_cluster())
+        dist_model = self.build_model()
+        dmt_trainer = DistributedDMTTrainer(sim, dist_model)
+        opts = [Adam(dist_model.parameters(), lr=train.dense_lr)]
+        ref_model = self._make_model() if train.verify else None
+        ref_opt = (
+            Adam(ref_model.parameters(), lr=train.dense_lr)
+            if ref_model is not None
+            else None
+        )
+        loss_mod = BCEWithLogitsLoss()
+        losses: List[float] = []
+        ref_losses: List[float] = []
+        for step in range(train.steps):
+            dense, ids, labels = dataset.sample(
+                train.global_batch, seed=train.step_seed + step
+            )
+            losses.append(float(dmt_trainer.fit_step(dense, ids, labels, opts)))
+            if ref_model is not None:
+                ref_opt.zero_grad()
+                ref_losses.append(
+                    float(loss_mod(ref_model(dense, ids), labels))
+                )
+                ref_model.backward(loss_mod.backward())
+                ref_opt.step()
+        max_drift = None
+        if ref_model is not None:
+            max_drift = max(
+                float(np.abs(p1.data - p2.data).max())
+                for p1, p2 in zip(
+                    dist_model.parameters(), ref_model.parameters()
+                )
+            )
+        return TrainArtifact(
+            mode="simulated",
+            model=dist_model,
+            trainer=dmt_trainer,
+            losses=losses,
+            ref_losses=ref_losses,
+            max_drift=max_drift,
+            timeline=sim.timeline.format_table(),
+        )
+
+    def price(self) -> PriceArtifact:
+        """Model the per-iteration latency at paper scale."""
+
+        def build() -> PriceArtifact:
+            perf = self._need("perf")
+            cluster = self.build_cluster()
+            towers = (
+                perf.num_towers
+                if perf.num_towers is not None
+                else cluster.num_hosts
+            )
+            model = IterationLatencyModel()
+            baseline = model.hybrid(
+                baseline_profile(perf.kind), cluster, perf.local_batch
+            )
+            dmt = model.dmt(
+                dmt_profile_for_towers(perf.kind, towers),
+                cluster,
+                perf.local_batch,
+            )
+            return PriceArtifact(baseline=baseline, dmt=dmt)
+
+        return self._stage("price", build)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute every stage the spec describes; collect a RunResult."""
+        spec = self.spec
+        result = RunResult(
+            name=spec.name,
+            spec=spec.to_dict(),
+            cluster=RunResult.cluster_summary(self.build_cluster()),
+        )
+        if spec.data is not None:
+            result.data = self.load_data().summary()
+        if spec.partition is not None:
+            result.partition = self.partition().summary()
+        if spec.model is not None or spec.perf is not None:
+            result.plan = self.plan().summary()
+        if spec.train is not None:
+            result.train = self.train().summary()
+        if spec.perf is not None:
+            result.price = self.price().summary()
+        return result
+
+
+# ----------------------------------------------------------------------
+def spec_auc_sweep(
+    spec: RunSpec, seeds: Tuple[int, ...]
+) -> Tuple[float, float, List[float]]:
+    """(median, std, values) of eval AUC across seeds — §5.2's statistic.
+
+    Per the quality protocol, seed ``s`` trains with ``train.seed = s``
+    and model initialization ``model.seed = 100 + s``; data and any
+    probed partition are shared across the sweep via the session-layer
+    caches.
+    """
+    if spec.train is None or spec.model is None:
+        raise SpecError(
+            "spec_auc_sweep needs a spec with model and train sections"
+        )
+    if spec.train.mode != "single":
+        raise SpecError(
+            "spec_auc_sweep measures eval AUC, which only single-process "
+            "training produces; got train.mode="
+            f"{spec.train.mode!r}"
+        )
+    values: List[float] = []
+    for s in seeds:
+        run = spec.replace(
+            model=spec.model.replace(seed=100 + s),
+            train=spec.train.replace(seed=s),
+        )
+        values.append(float(Session(run).train().eval_result.auc))
+    return float(np.median(values)), float(np.std(values, ddof=1)), values

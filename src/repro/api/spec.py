@@ -1,0 +1,588 @@
+"""Declarative run specifications for the :mod:`repro.api` session layer.
+
+A :class:`RunSpec` is a small dataclass tree describing one end-to-end
+workflow of the paper's §3.3 pipeline — which cluster to model
+(:class:`ClusterSpec`), which synthetic click logs to generate
+(:class:`DataSpec`), which model to build (:class:`ModelSpec`), how to
+assign features to towers (:class:`PartitionSpec`), how to train
+(:class:`TrainSpec`), and which paper-scale configuration to price
+(:class:`PerfSpec`).  Every spec validates on construction and
+round-trips through plain dicts / JSON, so a run can be stored next to
+its results and re-executed bit-for-bit via ``dmt-repro run-spec``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.hardware.specs import GPUGeneration, get_spec
+
+__all__ = [
+    "ClusterSpec",
+    "DataSpec",
+    "ModelSpec",
+    "PartitionSpec",
+    "TrainSpec",
+    "PerfSpec",
+    "RunSpec",
+    "SpecError",
+]
+
+
+class SpecError(ValueError):
+    """A run specification failed validation or deserialization."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _as_index(value: Any) -> int:
+    """A feature index from JSON: integers only, no float truncation."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(
+            f"feature indices must be integers, got {value!r}"
+        )
+    return value
+
+
+class _SpecBase:
+    """Shared dict/JSON plumbing for the frozen spec dataclasses."""
+
+    #: Field names whose JSON lists must come back as tuples.
+    _TUPLE_FIELDS: Tuple[str, ...] = ()
+    #: Field names holding nested tuples (tuple of tuples of int).
+    _NESTED_TUPLE_FIELDS: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON-types dict (tuples become lists)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, _SpecBase):
+                value = value.to_dict()
+            elif f.name in self._NESTED_TUPLE_FIELDS and value is not None:
+                value = [list(g) for g in value]
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "_SpecBase":
+        _require(
+            isinstance(data, dict),
+            f"{cls.__name__} expects a mapping, got {type(data).__name__}",
+        )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        _require(
+            not unknown,
+            f"unknown {cls.__name__} field(s): {', '.join(sorted(unknown))}",
+        )
+        try:
+            kwargs: Dict[str, Any] = {}
+            for f in fields(cls):
+                if f.name not in data:
+                    continue
+                value = data[f.name]
+                if f.name in cls._NESTED_TUPLE_FIELDS and value is not None:
+                    value = tuple(tuple(_as_index(i) for i in g) for g in value)
+                elif f.name in cls._TUPLE_FIELDS and value is not None:
+                    value = tuple(value)
+                kwargs[f.name] = value
+            return cls(**kwargs)  # type: ignore[call-arg]
+        except SpecError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"invalid {cls.__name__}: {exc}") from exc
+
+    def replace(self, **changes: Any) -> "_SpecBase":
+        """Functional update (mirrors :func:`dataclasses.replace`)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[type-var]
+
+    def _coerce_tuple_fields(self) -> None:
+        """Accept lists at direct construction; store hashable tuples.
+
+        Called first from ``__post_init__`` of specs with tuple fields
+        (the lru-cached session stages require hashable specs).
+        """
+        for name in self._NESTED_TUPLE_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(
+                    self, name, tuple(tuple(g) for g in value)
+                )
+        for name in self._TUPLE_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, tuple(value))
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterSpec(_SpecBase):
+    """The modeled datacenter topology (hosts x GPUs, one generation)."""
+
+    num_hosts: int = 2
+    gpus_per_host: int = 2
+    generation: str = "A100"
+
+    def __post_init__(self) -> None:
+        _require(self.num_hosts >= 1, f"num_hosts must be >= 1, got {self.num_hosts}")
+        _require(
+            self.gpus_per_host >= 1,
+            f"gpus_per_host must be >= 1, got {self.gpus_per_host}",
+        )
+        try:
+            get_spec(self.generation)
+        except KeyError:
+            names = ", ".join(g.value for g in GPUGeneration)
+            raise SpecError(
+                f"unknown generation {self.generation!r}; "
+                f"expected one of {names}"
+            ) from None
+
+    @property
+    def world_size(self) -> int:
+        return self.num_hosts * self.gpus_per_host
+
+
+@dataclass(frozen=True)
+class DataSpec(_SpecBase):
+    """Synthetic Criteo-like click logs with planted block structure.
+
+    Generator knobs mirror
+    :class:`repro.data.criteo.SyntheticCriteoConfig` (same defaults);
+    ``num_samples``/``eval_fraction`` describe the train/eval split.
+    """
+
+    num_dense: int = 13
+    num_sparse: int = 26
+    cardinality: int = 64
+    num_blocks: int = 4
+    rho: float = 0.85
+    noise: float = 0.4
+    cross_strength: float = 0.15
+    num_samples: int = 12000
+    eval_fraction: float = 1.0 / 3.0
+    dataset_seed: int = 0
+    sample_seed: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.num_dense >= 1, "num_dense must be >= 1")
+        _require(
+            self.num_sparse >= self.num_blocks >= 1,
+            f"need num_sparse >= num_blocks >= 1, got "
+            f"{self.num_sparse} / {self.num_blocks}",
+        )
+        _require(self.cardinality >= 2, "cardinality must be >= 2")
+        _require(0.0 <= self.rho <= 1.0, f"rho must be in [0, 1], got {self.rho}")
+        _require(self.noise >= 0.0, "noise must be non-negative")
+        _require(self.num_samples >= 2, "num_samples must be >= 2")
+        _require(
+            0.0 < self.eval_fraction < 1.0,
+            f"eval_fraction must be in (0, 1), got {self.eval_fraction}",
+        )
+
+
+@dataclass(frozen=True)
+class ModelSpec(_SpecBase):
+    """One recommendation model: family, variant, and dense sizing."""
+
+    _TUPLE_FIELDS = ("bottom_mlp", "top_mlp")
+
+    family: str = "dlrm"  # "dlrm" | "dcn"
+    variant: str = "dmt"  # "flat" | "dmt"
+    embedding_dim: int = 16
+    bottom_mlp: Tuple[int, ...] = (32,)
+    top_mlp: Tuple[int, ...] = (64, 32)
+    cross_layers: int = 0  # DCN only
+    tower_dim: int = 8  # DMT only
+    c: int = 1  # DMT-DLRM tower module width factor
+    p: int = 0  # DMT-DLRM flat-bottleneck term
+    pass_through: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._coerce_tuple_fields()
+        _require(
+            self.family in ("dlrm", "dcn"),
+            f"family must be 'dlrm' or 'dcn', got {self.family!r}",
+        )
+        _require(
+            self.variant in ("flat", "dmt"),
+            f"variant must be 'flat' or 'dmt', got {self.variant!r}",
+        )
+        _require(self.embedding_dim >= 1, "embedding_dim must be >= 1")
+        _require(
+            all(h >= 1 for h in self.bottom_mlp + self.top_mlp),
+            "MLP hidden sizes must be positive",
+        )
+        _require(
+            self.family != "dcn" or self.cross_layers >= 1,
+            "DCN models need cross_layers >= 1",
+        )
+        _require(self.tower_dim >= 1, "tower_dim must be >= 1")
+        _require(self.c >= 0 and self.p >= 0, "c and p must be non-negative")
+
+
+#: Strategies that require the interaction-probe -> TP pipeline.
+_PROBE_STRATEGIES = ("probe", "coherent", "diverse")
+#: All partition strategies the session layer understands.
+PARTITION_STRATEGIES = _PROBE_STRATEGIES + ("naive", "contiguous", "given")
+
+
+@dataclass(frozen=True)
+class PartitionSpec(_SpecBase):
+    """How features are assigned to towers.
+
+    ``probe`` (alias ``coherent``) and ``diverse`` run the full §3.3
+    pipeline — train a flat probe model, measure the interaction
+    matrix, MDS-embed, constrained K-Means — with the named distance
+    strategy.  ``naive`` is Table 6's strided baseline, ``contiguous``
+    the block-structure oracle, and ``given`` takes explicit groups
+    (``num_towers`` is then derived as ``len(groups)``).
+    """
+
+    _NESTED_TUPLE_FIELDS = ("groups",)
+
+    strategy: str = "probe"
+    #: None resolves to 4 (or, with 'given' groups, to len(groups)).
+    num_towers: Optional[int] = None
+    groups: Optional[Tuple[Tuple[int, ...], ...]] = None
+    probe_seed: int = 7
+    probe_epochs: int = 2
+    probe_batch_size: int = 256
+    probe_sparse_lr: float = 0.05
+    probe_samples: int = 6000
+    mds_iterations: int = 800
+    kmeans_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._coerce_tuple_fields()
+        _require(
+            self.strategy in PARTITION_STRATEGIES,
+            f"unknown partition strategy {self.strategy!r}; "
+            f"expected one of {PARTITION_STRATEGIES}",
+        )
+        if self.strategy == "given":
+            _require(
+                self.groups is not None,
+                "strategy 'given' requires explicit groups",
+            )
+            assert self.groups is not None
+            _require(
+                len(self.groups) >= 1
+                and all(len(g) >= 1 for g in self.groups),
+                "every tower group must hold at least one feature",
+            )
+            flat = [f for g in self.groups for f in g]
+            _require(
+                all(isinstance(f, int) and f >= 0 for f in flat),
+                "group entries must be non-negative feature indices",
+            )
+            _require(
+                len(flat) == len(set(flat)),
+                "a feature appears in more than one tower group",
+            )
+            _require(
+                set(flat) == set(range(len(flat))),
+                f"given groups must cover feature indices "
+                f"0..{len(flat) - 1} exactly; got {sorted(flat)}",
+            )
+            _require(
+                self.num_towers is None
+                or self.num_towers == len(self.groups),
+                f"num_towers={self.num_towers} conflicts with the "
+                f"{len(self.groups)} given groups; drop it or make "
+                f"them agree",
+            )
+            # num_towers is derived so cross-checks (one tower per host,
+            # num_towers <= num_sparse) validate the real tower count.
+            object.__setattr__(self, "num_towers", len(self.groups))
+        else:
+            _require(
+                self.groups is None,
+                f"groups are only valid with strategy 'given', "
+                f"not {self.strategy!r}",
+            )
+            if self.num_towers is None:
+                object.__setattr__(self, "num_towers", 4)
+            _require(self.num_towers >= 1, "num_towers must be >= 1")
+        _require(self.probe_epochs >= 1, "probe_epochs must be >= 1")
+        _require(self.probe_batch_size >= 1, "probe_batch_size must be >= 1")
+        _require(self.probe_sparse_lr > 0, "probe_sparse_lr must be positive")
+        _require(self.probe_samples >= 1, "probe_samples must be >= 1")
+        _require(self.mds_iterations >= 1, "mds_iterations must be >= 1")
+        if not self.needs_probe:
+            # Same invariant as TrainSpec: a stored spec must not
+            # pretend to configure a probe that never runs.
+            defaults = {f.name: f.default for f in fields(type(self))}
+            for name in (
+                "probe_seed",
+                "probe_epochs",
+                "probe_batch_size",
+                "probe_sparse_lr",
+                "probe_samples",
+                "mds_iterations",
+                "kmeans_seed",
+            ):
+                _require(
+                    getattr(self, name) == defaults[name],
+                    f"{name} has no effect with strategy="
+                    f"{self.strategy!r}; leave it at its default "
+                    f"({defaults[name]!r})",
+                )
+
+    @property
+    def needs_probe(self) -> bool:
+        return self.strategy in _PROBE_STRATEGIES
+
+    @property
+    def tp_distance(self) -> str:
+        """The TowerPartitioner distance strategy behind ``strategy``."""
+        return "diverse" if self.strategy == "diverse" else "coherent"
+
+
+@dataclass(frozen=True)
+class TrainSpec(_SpecBase):
+    """Training protocol: single-process quality or simulated cluster.
+
+    ``mode='single'`` wraps :class:`repro.training.Trainer`;
+    ``mode='simulated'`` runs the model-parallel
+    :class:`repro.core.dmt_pipeline.DistributedDMTTrainer` on a
+    :class:`repro.sim.SimCluster` (optionally verifying step losses
+    against single-process training on the same global batches).
+    """
+
+    mode: str = "single"  # "single" | "simulated"
+    batch_size: int = 256
+    epochs: int = 2
+    dense_lr: float = 1e-3
+    sparse_lr: float = 0.03
+    dense_optimizer: str = "adam"
+    warmup_steps: int = 0
+    seed: int = 0
+    # simulated-mode knobs
+    steps: int = 8
+    global_batch: int = 128
+    step_seed: int = 100
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        _require(
+            self.mode in ("single", "simulated"),
+            f"mode must be 'single' or 'simulated', got {self.mode!r}",
+        )
+        _require(self.batch_size >= 1 and self.epochs >= 1,
+                 "batch_size and epochs must be positive")
+        _require(self.dense_lr > 0 and self.sparse_lr > 0,
+                 "learning rates must be positive")
+        _require(
+            self.dense_optimizer in ("adam", "sgd"),
+            f"unknown dense optimizer {self.dense_optimizer!r}",
+        )
+        _require(self.warmup_steps >= 0, "warmup_steps must be >= 0")
+        _require(self.steps >= 1, "steps must be >= 1")
+        _require(self.global_batch >= 1, "global_batch must be >= 1")
+        # Each mode reads only its own knobs (plus the shared
+        # dense_lr); reject the other mode's non-default fields so a
+        # stored spec never pretends to change a run it cannot affect.
+        unused = (
+            (
+                "batch_size",
+                "epochs",
+                "sparse_lr",
+                "dense_optimizer",
+                "warmup_steps",
+                "seed",
+            )
+            if self.mode == "simulated"
+            else ("steps", "global_batch", "step_seed", "verify")
+        )
+        defaults = {f.name: f.default for f in fields(type(self))}
+        for name in unused:
+            _require(
+                getattr(self, name) == defaults[name],
+                f"{name} has no effect with mode={self.mode!r}; "
+                f"leave it at its default ({defaults[name]!r})",
+            )
+
+
+@dataclass(frozen=True)
+class PerfSpec(_SpecBase):
+    """Paper-scale iteration pricing: hybrid baseline vs DMT."""
+
+    kind: str = "dlrm"  # "dlrm" | "dcn"
+    local_batch: int = 16384
+    num_towers: Optional[int] = None  # default: one tower per host
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("dlrm", "dcn"),
+            f"kind must be 'dlrm' or 'dcn', got {self.kind!r}",
+        )
+        _require(self.local_batch >= 1, "local_batch must be >= 1")
+        _require(
+            self.num_towers is None or self.num_towers >= 1,
+            "num_towers must be >= 1 when given",
+        )
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec(_SpecBase):
+    """One declarative end-to-end run.
+
+    Sections are optional: a pricing-only run needs ``cluster`` +
+    ``perf``; a quality run needs ``data`` + ``model`` + ``train``
+    (plus ``partition`` for DMT variants).  :class:`repro.api.Session`
+    executes whichever stages the spec describes.
+
+    Examples
+    --------
+    >>> spec = RunSpec(perf=PerfSpec(kind="dcn"))
+    >>> RunSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    name: str = "run"
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    data: Optional[DataSpec] = None
+    model: Optional[ModelSpec] = None
+    partition: Optional[PartitionSpec] = None
+    train: Optional[TrainSpec] = None
+    perf: Optional[PerfSpec] = None
+
+    _SECTIONS = {
+        "cluster": ClusterSpec,
+        "data": DataSpec,
+        "model": ModelSpec,
+        "partition": PartitionSpec,
+        "train": TrainSpec,
+        "perf": PerfSpec,
+    }
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "name must be non-empty")
+        # The name doubles as a --save file stem; keep it a single
+        # path component.
+        _require(
+            isinstance(self.name, str)
+            and "/" not in self.name
+            and "\\" not in self.name
+            and self.name not in (".", ".."),
+            f"name must be a plain file stem (no path separators), "
+            f"got {self.name!r}",
+        )
+        _require(
+            any(
+                getattr(self, s) is not None
+                for s in ("data", "partition", "train", "perf")
+            ),
+            "spec describes no work: set at least one of data, partition, "
+            "train, or perf",
+        )
+        if self.train is not None:
+            _require(
+                self.data is not None and self.model is not None,
+                "train requires data and model sections",
+            )
+            if self.model.variant == "dmt":
+                _require(
+                    self.partition is not None,
+                    "training a DMT variant requires a partition section",
+                )
+            if self.train.mode == "simulated":
+                _require(
+                    self.model.variant == "dmt",
+                    "simulated training runs the DMT pipeline; "
+                    "set model.variant='dmt'",
+                )
+                _require(
+                    self.partition is not None
+                    and self.partition.num_towers == self.cluster.num_hosts,
+                    "simulated training pins one tower per host: "
+                    "partition.num_towers must equal cluster.num_hosts",
+                )
+        if self.partition is not None and self.data is not None:
+            _require(
+                self.partition.num_towers <= self.data.num_sparse,
+                f"cannot split {self.data.num_sparse} features into "
+                f"{self.partition.num_towers} towers",
+            )
+            if self.partition.groups is not None:
+                covered = {f for g in self.partition.groups for f in g}
+                _require(
+                    covered == set(range(self.data.num_sparse)),
+                    f"given groups must cover features "
+                    f"0..{self.data.num_sparse - 1} exactly; got "
+                    f"{sorted(covered)}",
+                )
+        if self.partition is not None:
+            if self.partition.needs_probe:
+                _require(
+                    self.data is not None and self.model is not None,
+                    f"partition strategy {self.partition.strategy!r} trains "
+                    f"a probe model and requires data and model sections",
+                )
+            elif self.partition.strategy in ("naive", "contiguous"):
+                _require(
+                    self.data is not None,
+                    f"partition strategy {self.partition.strategy!r} derives "
+                    f"the feature count from the data section; add one",
+                )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        _require(
+            isinstance(data, dict),
+            f"RunSpec expects a mapping, got {type(data).__name__}",
+        )
+        unknown = set(data) - set(cls._SECTIONS) - {"name"}
+        _require(
+            not unknown,
+            f"unknown RunSpec field(s): {', '.join(sorted(unknown))}",
+        )
+        kwargs: Dict[str, Any] = {}
+        if "name" in data:
+            kwargs["name"] = data["name"]
+        for section, spec_cls in cls._SECTIONS.items():
+            if section in data and data[section] is not None:
+                kwargs[section] = spec_cls.from_dict(data[section])
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name}
+        for section in self._SECTIONS:
+            value = getattr(self, section)
+            if value is not None:
+                out[section] = value.to_dict()
+        return out
+
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunSpec":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

@@ -4,7 +4,9 @@ Each experiment exposes ``run(fast: bool = True) -> ExperimentResult``
 and registers itself under the paper's table/figure id.  The
 ``dmt-repro`` CLI (``repro.experiments.runner``) lists and executes
 them; the benchmark suite regenerates each one and asserts its headline
-claims.
+claims.  Importing this package registers every driver (the registry
+also lazily imports them on first lookup, so direct
+``repro.experiments.registry`` consumers see the full list too).
 
 ``fast=True`` (default) shrinks seed counts and dataset sizes so the
 whole suite completes in minutes; ``fast=False`` runs the full
@@ -12,31 +14,19 @@ protocol (9 seeds, larger data) for tighter statistics.
 """
 
 from repro.experiments.result import ExperimentResult
-from repro.experiments.registry import get_experiment, list_experiments, register
-
-# Importing the modules registers them.
-from repro.experiments import (  # noqa: E402,F401
-    table1,
-    table2,
-    table3,
-    table4,
-    table5,
-    table6,
-    figure1,
-    figure5,
-    figure6,
-    figure9,
-    figure10,
-    figure11,
-    figure12,
-    figure13,
-    xlrm,
-    quantization,
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    load_all_drivers,
+    register,
 )
+
+load_all_drivers()
 
 __all__ = [
     "ExperimentResult",
     "get_experiment",
     "list_experiments",
+    "load_all_drivers",
     "register",
 ]

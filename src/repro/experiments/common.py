@@ -1,17 +1,19 @@
-"""Shared helpers and transcribed paper values for the experiment suite."""
+"""Shared transcribed paper values for the experiment suite.
+
+The profile-selection helpers (``baseline_profile``,
+``dmt_profile_for_towers``) moved to :mod:`repro.perf.profiles` so the
+``repro.api`` session layer can use them without importing the
+experiment suite; they are re-exported here for backwards
+compatibility.
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict
 
-from repro.perf.profiles import (
-    ModelProfile,
-    dmt_dcn_profile,
-    dmt_dlrm_profile,
-    paper_dcn_profile,
-    paper_dlrm_profile,
-    sptt_only_profile,
+from repro.perf.profiles import (  # noqa: F401  (re-exports)
+    baseline_profile,
+    dmt_profile_for_towers,
 )
 
 #: Figure 10, transcribed: speedup of DMT over the Strong Baseline.
@@ -59,41 +61,3 @@ SCALES = {
     "A100": (16, 32, 64, 128, 256, 512),
     "H100": (16, 32, 64, 128, 256, 512),
 }
-
-
-def dmt_profile_for_towers(kind: str, num_towers: int) -> ModelProfile:
-    """The DMT profile matching a host count, per §5.2.2's settings.
-
-    Tower counts beyond 26 (the Criteo feature count) column-shard
-    features (§5.2.2 footnote); profile-wise the 26T configuration is
-    reused with the tower count overridden.
-    """
-    if kind == "dlrm":
-        if num_towers == 16:
-            return dmt_dlrm_profile(16, tower_dim=128, c=0, p=1)
-        if num_towers <= 26:
-            return dmt_dlrm_profile(num_towers)
-        return replace(
-            dmt_dlrm_profile(26),
-            num_towers=num_towers,
-            name=f"DMT-{num_towers}T-DLRM",
-        )
-    if kind == "dcn":
-        if num_towers <= 16:
-            return dmt_dcn_profile(num_towers)
-        if num_towers <= 26:
-            return sptt_only_profile(paper_dcn_profile(), num_towers)
-        return replace(
-            dmt_dcn_profile(16),
-            num_towers=num_towers,
-            name=f"DMT-{num_towers}T-DCN",
-        )
-    raise ValueError(f"unknown model kind {kind!r}")
-
-
-def baseline_profile(kind: str) -> ModelProfile:
-    if kind == "dlrm":
-        return paper_dlrm_profile()
-    if kind == "dcn":
-        return paper_dcn_profile()
-    raise ValueError(f"unknown model kind {kind!r}")

@@ -1,0 +1,71 @@
+"""End-to-end §3.3 workflow through the declarative session layer.
+
+One :class:`repro.api.RunSpec` drives the practitioner pipeline —
+generate click logs, train a flat probe, learn the tower partition,
+train the DMT model under it — and a second spec differing only in
+``partition.strategy='naive'`` provides Table 6's control arm.  This is
+``examples/train_dmt_criteo.py`` as a regenerable experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.api import Session
+from repro.api.presets import naive_control_spec, train_dmt_criteo_spec
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+
+
+@register("e2e", "End-to-end session workflow: probe -> TP -> DMT")
+def run(fast: bool = True) -> ExperimentResult:
+    spec = train_dmt_criteo_spec()
+    if fast:
+        # Keep the standard probe/TP configuration (its artifacts are
+        # cached across the suite, and an under-trained probe yields a
+        # noise partition); shrink only the DMT training itself.
+        spec = dataclasses.replace(spec, train=spec.train.replace(epochs=1))
+    naive_spec = naive_control_spec(spec)
+
+    tp_session = Session(spec)
+    tp_art = tp_session.partition()
+    tp_train = tp_session.train()
+    naive_train = Session(naive_spec).train()
+
+    probe_auc = tp_art.probe_eval.auc
+    tp_auc = tp_train.eval_result.auc
+    naive_auc = naive_train.eval_result.auc
+    rows = [
+        ["flat DLRM probe", f"{probe_auc:.4f}", "-"],
+        [
+            "DMT 4T-DLRM / TP (coherent)",
+            f"{tp_auc:.4f}",
+            f"{tp_train.model.compression_ratio():.0f}",
+        ],
+        [
+            "DMT 4T-DLRM / naive strided",
+            f"{naive_auc:.4f}",
+            f"{naive_train.model.compression_ratio():.0f}",
+        ],
+    ]
+    body = format_table(["Model", "AUC", "CR"], rows)
+    body += (
+        f"\nTP groups: {[list(g) for g in tp_art.partition.groups]}"
+        f"\nspec round-trips through JSON; re-execute with "
+        f"`dmt-repro run-spec <spec.json>`"
+    )
+    return ExperimentResult(
+        exp_id="e2e",
+        title="Declarative RunSpec reproduces the full quality workflow",
+        body=body,
+        data={
+            "probe_auc": probe_auc,
+            "tp_auc": tp_auc,
+            "naive_auc": naive_auc,
+            "spec": spec.to_dict(),
+        },
+        paper_reference=(
+            "§3.3 workflow: probe -> TP -> DMT; coherent towers retain "
+            "more within-block signal than naive striding (Table 6)"
+        ),
+    )

@@ -2,30 +2,30 @@
 
 from __future__ import annotations
 
+from repro.api import ClusterSpec, PerfSpec, RunSpec, Session
 from repro.experiments.common import (
     LOCAL_BATCH,
     PAPER_FIGURE10_DCN,
     PAPER_FIGURE10_DLRM,
     SCALES,
-    baseline_profile,
-    dmt_profile_for_towers,
 )
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, format_table
-from repro.hardware import Cluster
-from repro.perf.iteration_model import IterationLatencyModel
 
 
-def _sweep(kind: str, model: IterationLatencyModel):
+def _sweep(kind: str):
     paper = PAPER_FIGURE10_DLRM if kind == "dlrm" else PAPER_FIGURE10_DCN
     rows, data = [], {}
-    base = baseline_profile(kind)
     for gen, sizes in SCALES.items():
         for gpus in sizes:
-            hosts = gpus // 8
-            cluster = Cluster(hosts, 8, gen)
-            profile = dmt_profile_for_towers(kind, hosts)
-            speedup = model.speedup(base, profile, cluster, LOCAL_BATCH)
+            price = Session(
+                RunSpec(
+                    name=f"figure10-{kind}-{gen}-{gpus}",
+                    cluster=ClusterSpec(gpus // 8, 8, gen),
+                    perf=PerfSpec(kind=kind, local_batch=LOCAL_BATCH),
+                )
+            ).price()
+            speedup = price.speedup
             rows.append(
                 [gen, gpus, f"{speedup:.2f}", f"{paper[gen][gpus]:.1f}"]
             )
@@ -36,10 +36,9 @@ def _sweep(kind: str, model: IterationLatencyModel):
 @register("figure10", "Speedup of DMT over DLRM and DCN baselines")
 def run(fast: bool = True) -> ExperimentResult:
     del fast
-    model = IterationLatencyModel()
     body_parts, data = [], {}
     for kind in ("dlrm", "dcn"):
-        rows, sweep = _sweep(kind, model)
+        rows, sweep = _sweep(kind)
         data[kind] = sweep
         body_parts.append(f"-- DMT-{kind.upper()} over {kind.upper()} --")
         body_parts.append(

@@ -2,21 +2,23 @@
 
 from __future__ import annotations
 
+from repro.api import ClusterSpec, PerfSpec, RunSpec, Session
 from repro.experiments.common import LOCAL_BATCH, PAPER_FIGURE13
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, format_table
-from repro.hardware import Cluster
-from repro.perf.iteration_model import IterationLatencyModel
-from repro.perf.profiles import dmt_dcn_profile, paper_dcn_profile
 
 
 @register("figure13", "Component latency breakdown, DCN vs DMT-DCN")
 def run(fast: bool = True) -> ExperimentResult:
     del fast
-    cluster = Cluster(8, 8, "H100")
-    model = IterationLatencyModel()
-    base = model.hybrid(paper_dcn_profile(), cluster, LOCAL_BATCH)
-    dmt = model.dmt(dmt_dcn_profile(8), cluster, LOCAL_BATCH)
+    price = Session(
+        RunSpec(
+            name="figure13",
+            cluster=ClusterSpec(num_hosts=8, gpus_per_host=8, generation="H100"),
+            perf=PerfSpec(kind="dcn", num_towers=8, local_batch=LOCAL_BATCH),
+        )
+    ).price()
+    base, dmt = price.baseline, price.dmt
     rows = [
         [
             "compute",

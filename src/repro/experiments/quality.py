@@ -11,20 +11,15 @@ TP-vs-naive gap.
 
 from __future__ import annotations
 
-import functools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
+from repro.api import PartitionSpec, RunSpec, Session
+from repro.api.presets import quality_data_spec, quality_dlrm_model
 from repro.core.partition import FeaturePartition
-from repro.data import (
-    SyntheticCriteoConfig,
-    SyntheticCriteoDataset,
-    train_eval_split,
-)
 from repro.models import DCN, DLRM, DMTDCN, DMTDLRM, tiny_table_configs
 from repro.models.configs import DenseArch
-from repro.partitioner import TowerPartitioner, interaction_from_activations
 from repro.training import TrainConfig, Trainer
 
 #: Quality-experiment geometry.
@@ -53,22 +48,18 @@ def quality_tables():
     return tiny_table_configs(NUM_SPARSE, CARDINALITY, EMB_DIM)
 
 
-@functools.lru_cache(maxsize=4)
 def quality_data(n_total: int = 12000):
-    """Cached dataset split (train, eval) for the standard config."""
-    config = SyntheticCriteoConfig(
-        num_sparse=NUM_SPARSE,
-        num_blocks=NUM_BLOCKS,
-        cardinality=CARDINALITY,
-        rho=0.9,
-        noise=0.5,
-        cross_strength=0.0,
+    """Dataset split (train, eval) for the standard config.
+
+    Thin wrapper over the :mod:`repro.api` session layer's data stage,
+    whose cross-session caches (cleared by
+    :func:`repro.api.session.clear_caches`) make repeat calls cheap.
+    """
+    session = Session(
+        RunSpec(name="quality-data", data=quality_data_spec(n_total))
     )
-    dataset = SyntheticCriteoDataset(config, seed=0)
-    train, evals = train_eval_split(
-        *dataset.sample(n_total, seed=1), eval_fraction=1.0 / 3.0
-    )
-    return dataset, train, evals
+    art = session.load_data()
+    return art.dataset, art.train, art.eval
 
 
 def train_and_eval_auc(
@@ -160,21 +151,23 @@ def learned_tp_partition(
 ):
     """Run the full TP pipeline on a freshly probed model.
 
-    Returns the TPResult (partition + artifacts for Figure 9).
+    Returns the TPResult (partition + artifacts for Figure 9).  Thin
+    wrapper over the session layer's partition stage; probe runs are
+    cached across the suite.
     """
-    _, (td, ti, tl), _ = quality_data()
-    probe = dlrm_factory(np.random.default_rng(7))
-    Trainer(
-        probe,
-        TrainConfig(batch_size=256, epochs=probe_epochs, seed=7, sparse_lr=0.05),
-    ).fit(td, ti, tl)
-    interaction = interaction_from_activations(
-        probe.embeddings(ti[:6000]), center=True
+    session = Session(
+        RunSpec(
+            name="quality-tp",
+            data=quality_data_spec(),
+            model=quality_dlrm_model(),
+            partition=PartitionSpec(
+                strategy=strategy,
+                num_towers=num_towers,
+                probe_epochs=probe_epochs,
+            ),
+        )
     )
-    tp = TowerPartitioner(
-        num_towers=num_towers, strategy=strategy, mds_iterations=800
-    )
-    return tp.partition_from_interaction(interaction, rng=np.random.default_rng(0))
+    return session.partition().tp_result
 
 
 def block_purity(partition: FeaturePartition, block_of: np.ndarray) -> float:

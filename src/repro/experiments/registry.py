@@ -1,7 +1,15 @@
-"""Experiment registry: paper table/figure id -> driver."""
+"""Experiment registry: paper table/figure id -> driver.
+
+Driver modules register themselves at import time; the registry also
+knows the full driver-module list and lazily imports it on first
+lookup, so ``from repro.experiments.registry import list_experiments``
+works (and ``get_experiment``'s error message is complete) without the
+caller importing :mod:`repro.experiments` first.
+"""
 
 from __future__ import annotations
 
+import importlib
 from typing import Callable, Dict, List
 
 from repro.experiments.result import ExperimentResult
@@ -9,6 +17,43 @@ from repro.experiments.result import ExperimentResult
 Runner = Callable[..., ExperimentResult]
 
 _REGISTRY: Dict[str, Dict[str, object]] = {}
+
+#: Every driver module (importing one registers its experiment).
+DRIVER_MODULES = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure1",
+    "figure5",
+    "figure6",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "xlrm",
+    "quantization",
+    "e2e",
+    "scaling",
+)
+
+_loaded = False
+
+
+def load_all_drivers() -> None:
+    """Import every driver module (idempotent)."""
+    global _loaded
+    if _loaded:
+        return
+    for module in DRIVER_MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
+    # Only flag success once every module imported, so a failed import
+    # is retried (and re-raised) on the next call instead of leaving a
+    # silently partial registry.
+    _loaded = True
 
 
 def register(exp_id: str, title: str) -> Callable[[Runner], Runner]:
@@ -24,6 +69,8 @@ def register(exp_id: str, title: str) -> Callable[[Runner], Runner]:
 
 
 def get_experiment(exp_id: str) -> Runner:
+    if exp_id not in _REGISTRY:
+        load_all_drivers()
     try:
         return _REGISTRY[exp_id]["run"]  # type: ignore[return-value]
     except KeyError as exc:
@@ -34,6 +81,7 @@ def get_experiment(exp_id: str) -> Runner:
 
 
 def list_experiments() -> List["tuple[str, str]"]:
+    load_all_drivers()
     return [
         (exp_id, str(meta["title"])) for exp_id, meta in sorted(_REGISTRY.items())
     ]

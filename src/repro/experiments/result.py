@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Sequence
+
+from repro.jsonutil import jsonable
 
 
 def format_table(
@@ -67,9 +70,45 @@ class ExperimentResult:
             parts.append(f"[paper] {self.paper_reference}")
         return "\n".join(parts)
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable dict (numpy values converted)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "body": self.body,
+            "data": jsonable(self.data),
+            "paper_reference": self.paper_reference,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            body=payload["body"],
+            data=payload.get("data", {}),
+            paper_reference=payload.get("paper_reference", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
     def save(self, directory: str = "results") -> str:
+        """Write the text render plus a machine-readable JSON twin.
+
+        Returns the text path; the JSON lands next to it as
+        ``<exp_id>.json``.
+        """
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.exp_id}.txt")
         with open(path, "w") as fh:
             fh.write(self.render() + "\n")
+        with open(os.path.join(directory, f"{self.exp_id}.json"), "w") as fh:
+            fh.write(self.to_json() + "\n")
         return path

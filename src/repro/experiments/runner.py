@@ -1,8 +1,16 @@
-"""CLI for the experiment suite: ``dmt-repro list|run|all``."""
+"""CLI for the experiment suite: ``dmt-repro list|run|all|run-spec``.
+
+``run``/``all`` regenerate paper tables and figures; ``run-spec``
+executes a declarative :class:`repro.api.RunSpec` JSON file through the
+session layer.  ``--json`` switches output to machine-readable JSON;
+``--save DIR`` writes both the text render and a JSON twin.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -11,11 +19,21 @@ from repro.experiments.registry import get_experiment, list_experiments
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # e.g. `dmt-repro list | head` — flush to devnull and exit with
+        # the conventional 128 + SIGPIPE code instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="dmt-repro",
         description=(
             "Regenerate the tables and figures of 'Disaggregated "
-            "Multi-Tower' (MLSys 2024)."
+            "Multi-Tower' (MLSys 2024), or execute declarative run specs."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -31,10 +49,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument(
         "--save", metavar="DIR", default=None, help="also write results to DIR"
     )
+    run_p.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--full", action="store_true")
     all_p.add_argument("--save", metavar="DIR", default=None)
+    all_p.add_argument("--json", action="store_true")
+
+    spec_p = sub.add_parser(
+        "run-spec", help="execute a RunSpec JSON file via the session layer"
+    )
+    spec_p.add_argument("spec", help="path to a RunSpec .json file")
+    spec_p.add_argument(
+        "--save", metavar="DIR", default=None, help="also write the result to DIR"
+    )
+    spec_p.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
 
     args = parser.parse_args(argv)
 
@@ -43,21 +76,64 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{exp_id:<14} {title}")
         return 0
 
+    if args.command == "run-spec":
+        return _run_spec(args)
+
     ids = (
         [args.exp_id]
         if args.command == "run"
         else [exp_id for exp_id, _ in list_experiments()]
     )
+    payloads = []
     for exp_id in ids:
         runner = get_experiment(exp_id)
         start = time.time()
         result = runner(fast=not args.full)
         elapsed = time.time() - start
-        print(result.render())
-        print(f"[{elapsed:.1f}s]")
-        print()
+        if args.json:
+            payloads.append(result.to_dict())
+        else:
+            print(result.render())
+            print(f"[{elapsed:.1f}s]")
+            print()
         if args.save:
             path = result.save(args.save)
+            if not args.json:
+                print(f"saved -> {path}")
+    if args.json:
+        # `run` prints the single result object; `all` a parseable array.
+        payload = payloads[0] if args.command == "run" else payloads
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _run_spec(args) -> int:
+    from repro.api import RunSpec, Session, SpecError
+
+    try:
+        spec = RunSpec.load(args.spec)
+    except OSError as exc:
+        print(f"cannot read spec file: {exc}", file=sys.stderr)
+        return 2
+    except SpecError as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = Session(spec).run()
+    except SpecError as exc:
+        # Validation passed but a stage found the spec incomplete.
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.render())
+    if args.save:
+        os.makedirs(args.save, exist_ok=True)
+        path = os.path.join(args.save, f"{spec.name}.json")
+        with open(path, "w") as fh:
+            fh.write(result.to_json() + "\n")
+        if not args.json:
             print(f"saved -> {path}")
     return 0
 

@@ -1,26 +1,21 @@
 """Table 4: DMT matches baseline AUC across tower counts.
 
-AUC columns come from real (small-scale) training; the complexity
-columns (MFlops/sample, parameters) come from the *paper-scale* model
-implementations via the perf profiles, so the tower-count/flops
-interplay is measured, not transcribed.
+AUC columns come from real (small-scale) training driven through the
+:mod:`repro.api` session layer; the complexity columns (MFlops/sample,
+parameters) come from the *paper-scale* model implementations via the
+perf profiles, so the tower-count/flops interplay is measured, not
+transcribed.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.partition import FeaturePartition
-from repro.experiments.quality import (
-    EMB_DIM,
-    FAST_SEEDS,
-    FULL_SEEDS,
-    auc_sweep,
-    dcn_factory,
-    dlrm_factory,
-    dmt_dcn_factory,
-    dmt_dlrm_factory,
+from repro.api import PartitionSpec, RunSpec, TrainSpec, spec_auc_sweep
+from repro.api.presets import (
+    quality_data_spec,
+    quality_dcn_model,
+    quality_dlrm_model,
 )
+from repro.experiments.quality import EMB_DIM, FAST_SEEDS, FULL_SEEDS
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, format_table
 from repro.models import criteo_table_configs
@@ -46,16 +41,26 @@ def _paper_scale_profile(kind: str, towers: "int | None"):
     return paper_dcn_profile() if towers is None else dmt_dcn_profile(towers)
 
 
+def _quality_run(model, partition=None) -> RunSpec:
+    return RunSpec(
+        name="table4",
+        data=quality_data_spec(),
+        model=model,
+        partition=partition,
+        train=TrainSpec(batch_size=256, epochs=2),
+    )
+
+
 @register("table4", "AUC and complexity vs tower count")
 def run(fast: bool = True) -> ExperimentResult:
     seeds = FAST_SEEDS[:3] if fast else FULL_SEEDS
     tower_counts = (2, 4) if fast else (2, 4, 8, 13)
     rows, data = [], {}
-    for kind, base_factory, dmt_factory in (
-        ("DLRM", dlrm_factory, dmt_dlrm_factory),
-        ("DCN", dcn_factory, dmt_dcn_factory),
+    for kind, base_model, tower_dim in (
+        ("DLRM", quality_dlrm_model(), EMB_DIM // 2),
+        ("DCN", quality_dcn_model(), EMB_DIM),
     ):
-        med, std, _ = auc_sweep(base_factory, seeds)
+        med, std, _ = spec_auc_sweep(_quality_run(base_model), seeds)
         profile = _paper_scale_profile(kind, None)
         dense_params_g = profile.dense_param_bytes / 4 / 1e9
         rows.append(
@@ -69,13 +74,13 @@ def run(fast: bool = True) -> ExperimentResult:
         )
         data[f"{kind}/base"] = {"auc": med, "std": std}
         for towers in tower_counts:
-            partition = FeaturePartition.contiguous(26, towers)
-            factory = (
-                dmt_factory(partition, tower_dim=EMB_DIM // 2)
-                if kind == "DLRM"
-                else dmt_factory(partition, tower_dim=EMB_DIM)
+            spec = _quality_run(
+                base_model.replace(variant="dmt", tower_dim=tower_dim),
+                partition=PartitionSpec(
+                    strategy="contiguous", num_towers=towers
+                ),
             )
-            med_t, std_t, _ = auc_sweep(factory, seeds)
+            med_t, std_t, _ = spec_auc_sweep(spec, seeds)
             # Paper-scale complexity for the nearest defined config.
             prof_towers = towers if towers in (2, 4, 8, 16) else 8
             dprof = _paper_scale_profile(kind, prof_towers)

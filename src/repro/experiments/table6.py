@@ -1,9 +1,10 @@
 """Table 6: TP creates more meaningful partitions than naive striding.
 
-Protocol (matching §5.2.3): train a probe model, run TP (coherent),
-then train DMT models under the TP partition and under the naive
-strided partition across repeated seeds; compare AUC medians with the
-Mann-Whitney U test.
+Protocol (matching §5.2.3), expressed as two session-layer RunSpecs
+that differ only in partition strategy: probe a flat model, run TP
+(coherent), then train DMT models under the TP partition and under the
+naive strided partition across repeated seeds; compare AUC medians with
+the Mann-Whitney U test.
 
 The tower modules use the flat bottleneck (Listing 1's p-term with a
 1-dim output) so that partition quality actually gates how much
@@ -13,19 +14,9 @@ configuration (p=1, c=0) scaled to our geometry.
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.partition import FeaturePartition
-from repro.experiments.quality import (
-    FAST_SEEDS,
-    FULL_SEEDS,
-    NUM_BLOCKS,
-    auc_sweep,
-    block_purity,
-    dmt_dlrm_factory,
-    learned_tp_partition,
-    quality_data,
-)
+from repro.api import PartitionSpec, RunSpec, Session, TrainSpec, spec_auc_sweep
+from repro.api.presets import quality_data_spec, quality_dlrm_model
+from repro.experiments.quality import FAST_SEEDS, FULL_SEEDS, NUM_BLOCKS, block_purity
 from repro.experiments.registry import register
 from repro.experiments.result import ExperimentResult, format_table
 from repro.training import mann_whitney_u
@@ -36,22 +27,31 @@ PAPER = {
 }
 
 
+def _spec(strategy: str) -> RunSpec:
+    return RunSpec(
+        name=f"table6-{strategy}",
+        data=quality_data_spec(),
+        model=quality_dlrm_model(variant="dmt", tower_dim=1, c=0, p=1),
+        partition=PartitionSpec(strategy=strategy, num_towers=NUM_BLOCKS),
+        train=TrainSpec(batch_size=256, epochs=2),
+    )
+
+
 @register("table6", "TP vs naive feature-to-tower assignment")
 def run(fast: bool = True) -> ExperimentResult:
     seeds = FAST_SEEDS if fast else FULL_SEEDS
-    dataset, _, _ = quality_data()
-    tp_result = learned_tp_partition(NUM_BLOCKS, strategy="coherent")
+    tp_spec, naive_spec = _spec("coherent"), _spec("naive")
+
+    tp_session = Session(tp_spec)
+    dataset = tp_session.load_data().dataset
+    tp_art = tp_session.partition()
+    tp_result = tp_art.tp_result
     purity = block_purity(tp_result.partition, dataset.block_of)
-    naive = FeaturePartition.strided(26, NUM_BLOCKS)
-    naive_purity = block_purity(naive, dataset.block_of)
+    naive_partition = Session(naive_spec).partition().partition
+    naive_purity = block_purity(naive_partition, dataset.block_of)
 
-    def bottleneck_factory(partition):
-        return dmt_dlrm_factory(partition, tower_dim=1, c=0, p=1)
-
-    tp_med, tp_std, tp_values = auc_sweep(
-        bottleneck_factory(tp_result.partition), seeds
-    )
-    nv_med, nv_std, nv_values = auc_sweep(bottleneck_factory(naive), seeds)
+    tp_med, tp_std, tp_values = spec_auc_sweep(tp_spec, seeds)
+    nv_med, nv_std, nv_values = spec_auc_sweep(naive_spec, seeds)
     p_value = mann_whitney_u(tp_values, nv_values)
 
     rows = [

@@ -1,0 +1,28 @@
+"""Tiny JSON-coercion helper shared by result containers.
+
+Lives at the package root (leaf module, numpy-only) so both the
+low-level :mod:`repro.experiments.result` and the session layer's
+:mod:`repro.api.results` can use it without layering inversions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and tuples to plain
+    JSON-serializable Python types."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return jsonable(value.tolist())
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    return value

@@ -18,6 +18,8 @@ model profiles into the paper's evaluation figures:
 
 from repro.perf.profiles import (
     ModelProfile,
+    baseline_profile,
+    dmt_profile_for_towers,
     dmt_dcn_profile,
     dmt_dlrm_profile,
     dmt_xlrm_profile,
@@ -39,6 +41,8 @@ from repro.perf.specialized import (
 
 __all__ = [
     "ModelProfile",
+    "baseline_profile",
+    "dmt_profile_for_towers",
     "paper_dlrm_profile",
     "paper_dcn_profile",
     "dmt_dlrm_profile",

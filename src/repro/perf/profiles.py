@@ -283,3 +283,45 @@ def dmt_xlrm_profile(num_towers: int = 16) -> ModelProfile:
         compression_ratio=2.0,
         num_towers=num_towers,
     )
+
+
+# ----------------------------------------------------------------------
+# Paradigm selection helpers (shared by repro.api and the experiments)
+# ----------------------------------------------------------------------
+def baseline_profile(kind: str) -> ModelProfile:
+    """The hybrid-parallel Strong Baseline profile for a model kind."""
+    if kind == "dlrm":
+        return paper_dlrm_profile()
+    if kind == "dcn":
+        return paper_dcn_profile()
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def dmt_profile_for_towers(kind: str, num_towers: int) -> ModelProfile:
+    """The DMT profile matching a host count, per §5.2.2's settings.
+
+    Tower counts beyond 26 (the Criteo feature count) column-shard
+    features (§5.2.2 footnote); profile-wise the 26T configuration is
+    reused with the tower count overridden.
+    """
+    if kind == "dlrm":
+        if num_towers == 16:
+            return dmt_dlrm_profile(16, tower_dim=128, c=0, p=1)
+        if num_towers <= 26:
+            return dmt_dlrm_profile(num_towers)
+        return replace(
+            dmt_dlrm_profile(26),
+            num_towers=num_towers,
+            name=f"DMT-{num_towers}T-DLRM",
+        )
+    if kind == "dcn":
+        if num_towers <= 16:
+            return dmt_dcn_profile(num_towers)
+        if num_towers <= 26:
+            return sptt_only_profile(paper_dcn_profile(), num_towers)
+        return replace(
+            dmt_dcn_profile(16),
+            num_towers=num_towers,
+            name=f"DMT-{num_towers}T-DCN",
+        )
+    raise ValueError(f"unknown model kind {kind!r}")

@@ -1,0 +1,470 @@
+"""Tests for the repro.api session layer: specs, sessions, CLI."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    DataSpec,
+    ModelSpec,
+    PartitionSpec,
+    PerfSpec,
+    RunSpec,
+    Session,
+    SpecError,
+    TrainSpec,
+    spec_auc_sweep,
+)
+from repro.api.presets import (
+    distributed_training_spec,
+    quickstart_spec,
+    train_dmt_criteo_spec,
+)
+from repro.experiments.runner import main as cli_main
+
+#: A shrunken end-to-end quality spec: probe -> TP -> DMT in ~a second.
+TINY = RunSpec(
+    name="tiny-e2e",
+    cluster=ClusterSpec(num_hosts=2, gpus_per_host=2, generation="A100"),
+    data=DataSpec(
+        num_sparse=8, num_blocks=2, cardinality=32, num_samples=1800
+    ),
+    model=ModelSpec(
+        family="dlrm",
+        variant="dmt",
+        embedding_dim=8,
+        bottom_mlp=(16,),
+        top_mlp=(16,),
+        tower_dim=1,
+        c=0,
+        p=1,
+        seed=11,
+    ),
+    partition=PartitionSpec(
+        strategy="coherent",
+        num_towers=2,
+        probe_epochs=1,
+        probe_samples=600,
+        mds_iterations=100,
+    ),
+    train=TrainSpec(batch_size=128, epochs=1, seed=11),
+)
+
+
+class TestSpecValidation:
+    def test_unknown_generation(self):
+        with pytest.raises(SpecError, match="unknown generation"):
+            ClusterSpec(generation="B200")
+
+    def test_nonpositive_cluster(self):
+        with pytest.raises(SpecError, match="num_hosts"):
+            ClusterSpec(num_hosts=0)
+
+    def test_eval_fraction_range(self):
+        with pytest.raises(SpecError, match="eval_fraction"):
+            DataSpec(eval_fraction=1.5)
+
+    def test_blocks_exceed_features(self):
+        with pytest.raises(SpecError, match="num_blocks"):
+            DataSpec(num_sparse=2, num_blocks=4)
+
+    def test_unknown_family(self):
+        with pytest.raises(SpecError, match="family"):
+            ModelSpec(family="transformer")
+
+    def test_dcn_needs_cross_layers(self):
+        with pytest.raises(SpecError, match="cross_layers"):
+            ModelSpec(family="dcn", cross_layers=0)
+
+    def test_unknown_partition_strategy(self):
+        with pytest.raises(SpecError, match="strategy"):
+            PartitionSpec(strategy="random")
+
+    def test_given_requires_groups(self):
+        with pytest.raises(SpecError, match="groups"):
+            PartitionSpec(strategy="given")
+
+    def test_groups_only_for_given(self):
+        with pytest.raises(SpecError, match="groups"):
+            PartitionSpec(strategy="naive", groups=((0, 1), (2, 3)))
+
+    def test_empty_runspec(self):
+        with pytest.raises(SpecError, match="no work"):
+            RunSpec()
+
+    def test_train_requires_data_and_model(self):
+        with pytest.raises(SpecError, match="data and model"):
+            RunSpec(train=TrainSpec())
+
+    def test_dmt_training_requires_partition(self):
+        with pytest.raises(SpecError, match="partition"):
+            RunSpec(
+                data=DataSpec(),
+                model=ModelSpec(variant="dmt"),
+                train=TrainSpec(),
+            )
+
+    def test_simulated_towers_must_match_hosts(self):
+        with pytest.raises(SpecError, match="num_hosts"):
+            dataclasses.replace(
+                distributed_training_spec(),
+                cluster=ClusterSpec(num_hosts=4, gpus_per_host=2),
+            )
+
+    def test_too_many_towers_for_features(self):
+        with pytest.raises(SpecError, match="towers"):
+            RunSpec(
+                data=DataSpec(num_sparse=4),
+                partition=PartitionSpec(strategy="naive", num_towers=8),
+            )
+
+    def test_given_derives_num_towers_from_groups(self):
+        part = PartitionSpec(
+            strategy="given", groups=((0, 1), (2, 3), (4, 5, 6, 7))
+        )
+        assert part.num_towers == 3
+        with pytest.raises(SpecError, match="num_hosts"):
+            RunSpec(
+                cluster=ClusterSpec(num_hosts=2, gpus_per_host=2),
+                data=DataSpec(num_sparse=8, num_blocks=2),
+                model=ModelSpec(variant="dmt"),
+                partition=part,
+                train=TrainSpec(mode="simulated"),
+            )
+
+    def test_given_rejects_noncontiguous_indices(self):
+        with pytest.raises(SpecError, match="cover feature indices"):
+            PartitionSpec(strategy="given", groups=((0, 5), (1, 6)))
+
+    def test_given_rejects_conflicting_num_towers(self):
+        with pytest.raises(SpecError, match="conflicts"):
+            PartitionSpec(
+                strategy="given", num_towers=8, groups=((0, 1), (2, 3))
+            )
+        # An explicit value equal to the old field default must not
+        # slip through either.
+        with pytest.raises(SpecError, match="conflicts"):
+            PartitionSpec(
+                strategy="given",
+                num_towers=4,
+                groups=((0,), (1,), (2,), (3,), (4,)),
+            )
+        assert PartitionSpec(strategy="naive").num_towers == 4
+
+    def test_specs_coerce_lists_to_tuples(self):
+        model = ModelSpec(bottom_mlp=[32], top_mlp=[64, 32])
+        assert model.bottom_mlp == (32,)
+        part = PartitionSpec(strategy="given", groups=[[0, 1], [2, 3]])
+        assert part.groups == ((0, 1), (2, 3))
+        hash((model, part))  # session lru caches need hashable specs
+
+    def test_given_rejects_duplicate_features(self):
+        with pytest.raises(SpecError, match="more than one tower"):
+            PartitionSpec(strategy="given", groups=((0, 1), (1, 2)))
+
+    def test_given_rejects_empty_group(self):
+        with pytest.raises(SpecError, match="at least one feature"):
+            PartitionSpec(strategy="given", groups=((0, 1), ()))
+
+    def test_given_groups_must_cover_features(self):
+        with pytest.raises(SpecError, match="cover features"):
+            RunSpec(
+                data=DataSpec(num_sparse=8, num_blocks=2),
+                partition=PartitionSpec(
+                    strategy="given", groups=((0, 1), (2, 3))
+                ),
+            )
+
+    def test_probe_knobs_validated(self):
+        with pytest.raises(SpecError, match="probe_batch_size"):
+            PartitionSpec(probe_batch_size=0)
+        with pytest.raises(SpecError, match="probe_sparse_lr"):
+            PartitionSpec(probe_sparse_lr=0.0)
+
+    def test_simulated_rejects_single_mode_knobs(self):
+        with pytest.raises(SpecError, match="no effect"):
+            TrainSpec(mode="simulated", dense_optimizer="sgd")
+        with pytest.raises(SpecError, match="no effect"):
+            TrainSpec(mode="simulated", seed=42)
+
+    def test_nonprobe_rejects_probe_knobs(self):
+        with pytest.raises(SpecError, match="no effect"):
+            PartitionSpec(strategy="naive", probe_epochs=50)
+        with pytest.raises(SpecError, match="no effect"):
+            PartitionSpec(
+                strategy="given", groups=((0, 1), (2, 3)), kmeans_seed=9
+            )
+
+    def test_single_rejects_simulated_mode_knobs(self):
+        with pytest.raises(SpecError, match="no effect"):
+            TrainSpec(mode="single", steps=100)
+        with pytest.raises(SpecError, match="no effect"):
+            TrainSpec(mode="single", verify=False)
+
+    def test_name_rejects_path_separators(self):
+        with pytest.raises(SpecError, match="path separators"):
+            RunSpec(name="../evil", perf=PerfSpec())
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown RunSpec field"):
+            RunSpec.from_dict({"perf": {"kind": "dcn"}, "nonsense": 1})
+
+    def test_from_dict_rejects_unknown_nested_keys(self):
+        with pytest.raises(SpecError, match="unknown PerfSpec field"):
+            RunSpec.from_dict({"perf": {"kind": "dcn", "batchsize": 4}})
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            RunSpec.from_json("{nope")
+
+    def test_from_dict_rejects_malformed_tuple_fields(self):
+        with pytest.raises(SpecError, match="invalid PartitionSpec"):
+            RunSpec.from_dict(
+                {"partition": {"strategy": "given", "groups": [1, 2]}}
+            )
+        with pytest.raises(SpecError, match="invalid ModelSpec"):
+            RunSpec.from_dict(
+                {"data": {}, "model": {"bottom_mlp": 32}}
+            )
+
+    def test_from_dict_rejects_float_feature_indices(self):
+        with pytest.raises(SpecError, match="integers"):
+            RunSpec.from_dict(
+                {"partition": {"strategy": "given", "groups": [[0.9, 1]]}}
+            )
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            quickstart_spec(),
+            train_dmt_criteo_spec(),
+            distributed_training_spec(),
+            TINY,
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_dict_and_json_round_trip(self, spec):
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_dict_uses_plain_types(self):
+        payload = json.loads(TINY.to_json())
+        assert payload["model"]["bottom_mlp"] == [16]
+        assert payload["cluster"]["generation"] == "A100"
+
+    def test_groups_round_trip_as_tuples(self):
+        spec = RunSpec(
+            partition=PartitionSpec(
+                strategy="given", num_towers=2, groups=((0, 2), (1, 3))
+            )
+        )
+        back = RunSpec.from_dict(spec.to_dict())
+        assert back.partition.groups == ((0, 2), (1, 3))
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "spec.json")
+        TINY.save(path)
+        assert RunSpec.load(path) == TINY
+
+
+class TestSessionStages:
+    def test_stage_artifacts_cached(self):
+        session = Session(quickstart_spec())
+        assert session.build_cluster() is session.build_cluster()
+        assert session.price() is session.price()
+
+    def test_plan_uses_train_batch_size(self):
+        assert Session(TINY).plan().batch_size == 128  # TINY's batch
+        assert Session(distributed_training_spec()).plan().batch_size == 128
+        assert Session(quickstart_spec()).plan().batch_size == 16384
+
+    def test_price_matches_iteration_model(self):
+        from repro.hardware import Cluster
+        from repro.perf.iteration_model import IterationLatencyModel
+        from repro.perf.profiles import dmt_dcn_profile, paper_dcn_profile
+
+        art = Session(quickstart_spec()).price()
+        model = IterationLatencyModel()
+        cluster = Cluster(8, 8, "H100")
+        assert art.baseline.total_s == model.hybrid(
+            paper_dcn_profile(), cluster, 16384
+        ).total_s
+        assert art.dmt.total_s == model.dmt(
+            dmt_dcn_profile(8), cluster, 16384
+        ).total_s
+
+    def test_partition_strategies(self):
+        base = RunSpec(
+            data=DataSpec(num_sparse=8, num_blocks=2, cardinality=32),
+            partition=PartitionSpec(strategy="naive", num_towers=2),
+        )
+        naive = Session(base).partition().partition
+        assert naive.groups == ((0, 2, 4, 6), (1, 3, 5, 7))
+        contig = Session(
+            dataclasses.replace(
+                base,
+                partition=PartitionSpec(strategy="contiguous", num_towers=2),
+            )
+        ).partition().partition
+        assert contig.groups == ((0, 1, 2, 3), (4, 5, 6, 7))
+        given = Session(
+            dataclasses.replace(
+                base,
+                partition=PartitionSpec(
+                    strategy="given",
+                    num_towers=2,
+                    groups=((7, 0, 1, 2), (3, 4, 5, 6)),
+                ),
+            )
+        ).partition().partition
+        assert given.groups == ((7, 0, 1, 2), (3, 4, 5, 6))
+
+    def test_missing_section_raises(self):
+        session = Session(quickstart_spec())
+        with pytest.raises(SpecError, match="no data section"):
+            session.load_data()
+
+    def test_session_accepts_dict(self):
+        art = Session(quickstart_spec().to_dict()).price()
+        assert art.speedup > 1.0
+
+    def test_session_rejects_other_types(self):
+        with pytest.raises(SpecError, match="RunSpec or dict"):
+            Session(42)
+
+
+class TestSessionEndToEnd:
+    def test_run_matches_hand_wired_pipeline(self):
+        """Session.run() == the hand-wired §3.3 workflow, float-exact."""
+        from repro.data import (
+            SyntheticCriteoConfig,
+            SyntheticCriteoDataset,
+            train_eval_split,
+        )
+        from repro.models import DMTDLRM, DLRM, tiny_table_configs
+        from repro.models.configs import DenseArch
+        from repro.partitioner import (
+            TowerPartitioner,
+            interaction_from_activations,
+        )
+        from repro.training import TrainConfig, Trainer
+
+        result = Session(TINY).run()
+
+        # Hand-wired equivalent (the pre-api examples/train_dmt_criteo
+        # wiring, shrunk to TINY's geometry).
+        dataset = SyntheticCriteoDataset(
+            SyntheticCriteoConfig(
+                num_sparse=8, num_blocks=2, cardinality=32
+            ),
+            seed=0,
+        )
+        (td, ti, tl), (ed, ei, el) = train_eval_split(
+            *dataset.sample(1800, seed=1), eval_fraction=1.0 / 3.0
+        )
+        tables = tiny_table_configs(8, 32, 8)
+        arch = DenseArch(embedding_dim=8, bottom_mlp=(16,), top_mlp=(16,))
+        probe = DLRM(13, tables, arch, rng=np.random.default_rng(7))
+        Trainer(
+            probe,
+            TrainConfig(batch_size=256, epochs=1, seed=7, sparse_lr=0.05),
+        ).fit(td, ti, tl)
+        interaction = interaction_from_activations(
+            probe.embeddings(ti[:600]), center=True
+        )
+        tp = TowerPartitioner(2, strategy="coherent", mds_iterations=100)
+        tp_result = tp.partition_from_interaction(
+            interaction, rng=np.random.default_rng(0)
+        )
+        model = DMTDLRM(
+            13,
+            tables,
+            tp_result.partition,
+            arch,
+            tower_dim=1,
+            c=0,
+            p=1,
+            rng=np.random.default_rng(11),
+        )
+        trainer = Trainer(model, TrainConfig(batch_size=128, epochs=1, seed=11))
+        trainer.fit(td, ti, tl)
+        expected = trainer.evaluate(ed, ei, el)
+
+        assert result.partition["groups"] == [
+            list(g) for g in tp_result.partition.groups
+        ]
+        assert result.train["auc"] == pytest.approx(expected.auc, abs=1e-12)
+        assert result.train["log_loss"] == pytest.approx(
+            expected.log_loss, abs=1e-12
+        )
+
+    def test_simulated_training_is_exact(self):
+        art = Session(distributed_training_spec()).train()
+        assert len(art.losses) == 8
+        assert art.losses == pytest.approx(art.ref_losses, abs=1e-9)
+        assert art.max_drift < 1e-9
+        assert "embedding_comm" in art.timeline
+
+    def test_auc_sweep_protocol(self):
+        med, std, values = spec_auc_sweep(TINY, seeds=(0, 1))
+        assert len(values) == 2
+        assert med == float(np.median(values))
+        # Seed protocol: model seed 100+s, train seed s.
+        run0 = dataclasses.replace(
+            TINY,
+            model=TINY.model.replace(seed=100),
+            train=TINY.train.replace(seed=0),
+        )
+        assert values[0] == Session(run0).train().eval_result.auc
+
+    def test_auc_sweep_rejects_simulated_mode(self):
+        with pytest.raises(SpecError, match="single-process"):
+            spec_auc_sweep(distributed_training_spec(), seeds=(0,))
+
+    def test_probe_cache_shared_across_alias_strategies(self):
+        from repro.api.session import _probed_partition, clear_caches
+
+        clear_caches()
+        probe = Session(dataclasses.replace(
+            TINY, partition=TINY.partition.replace(strategy="probe")
+        )).partition()
+        coherent = Session(TINY).partition()
+        assert probe.partition == coherent.partition
+        info = _probed_partition.cache_info()
+        # 'probe' and 'coherent' share one entry: first call misses,
+        # second hits.
+        assert info.misses == 1 and info.hits == 1
+
+
+class TestRunSpecCLI:
+    def test_run_spec_json_reexecutes_identically(self, tmp_path, capsys):
+        direct = Session(TINY).run().to_dict()
+        path = str(tmp_path / "tiny.json")
+        TINY.save(path)
+        assert cli_main(["run-spec", path, "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed == direct
+
+    def test_run_spec_text_render(self, tmp_path, capsys):
+        path = str(tmp_path / "quick.json")
+        quickstart_spec().save(path)
+        assert cli_main(["run-spec", path, "--save", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== run: quickstart ==" in out and "speedup" in out
+        saved = json.loads((tmp_path / "quickstart.json").read_text())
+        assert saved["price"]["speedup"] > 1.0
+
+    def test_run_spec_missing_file(self, capsys):
+        assert cli_main(["run-spec", "/nonexistent/spec.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_spec_invalid_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"perf": {"kind": "gpt"}}')
+        assert cli_main(["run-spec", str(path)]) == 2
+        assert "invalid spec" in capsys.readouterr().err

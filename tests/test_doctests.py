@@ -4,6 +4,8 @@ import doctest
 
 import pytest
 
+import repro.api.session
+import repro.api.spec
 import repro.comm.calibration
 import repro.comm.cost_model
 import repro.comm.functional
@@ -41,6 +43,8 @@ MODULES = [
     repro.data.criteo,
     repro.training.metrics,
     repro.training.stats,
+    repro.api.spec,
+    repro.api.session,
 ]
 
 

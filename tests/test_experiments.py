@@ -5,9 +5,15 @@ here we cover the registry/CLI machinery and the model-driven
 experiments end to end.
 """
 
+import json
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
+import repro
 from repro.experiments import get_experiment, list_experiments
 from repro.experiments.result import ExperimentResult, format_table
 from repro.experiments.runner import main as cli_main
@@ -29,13 +35,38 @@ ALL_IDS = {
     "figure13",
     "xlrm",
     "quantization",
+    "e2e",
+    "scaling",
 }
 
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
+        assert len(ids) == 18
         assert ids == ALL_IDS
+
+    def test_registry_lazy_imports_drivers(self):
+        """Direct registry consumers see every driver without importing
+        repro.experiments first (regression: the registry used to list
+        only what the caller had already imported)."""
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        code = (
+            "from repro.experiments.registry import "
+            "get_experiment, list_experiments\n"
+            f"assert len(list_experiments()) == {len(ALL_IDS)}\n"
+            "try:\n"
+            "    get_experiment('nope')\n"
+            "except KeyError as exc:\n"
+            "    assert 'e2e' in str(exc) and 'table4' in str(exc)\n"
+            "else:\n"
+            "    raise AssertionError('expected KeyError for unknown id')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=env, timeout=120
+        )
 
     def test_get_unknown_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):
@@ -68,6 +99,31 @@ class TestResultFormatting:
         path = result.save(str(tmp_path))
         assert open(path).read().startswith("== demo")
 
+    def test_save_writes_json_twin(self, tmp_path):
+        result = ExperimentResult(
+            exp_id="demo",
+            title="T",
+            body="B",
+            data={"x": np.float64(1.5), "arr": np.arange(3)},
+            paper_reference="P",
+        )
+        result.save(str(tmp_path))
+        payload = json.loads((tmp_path / "demo.json").read_text())
+        assert payload["data"] == {"x": 1.5, "arr": [0, 1, 2]}
+
+    def test_json_round_trip(self):
+        result = ExperimentResult(
+            exp_id="demo",
+            title="T",
+            body="B",
+            data={"speedup": np.float64(1.9), "values": (1, 2)},
+            paper_reference="P",
+        )
+        back = ExperimentResult.from_json(result.to_json())
+        assert back.exp_id == "demo"
+        assert back.data == {"speedup": 1.9, "values": [1, 2]}
+        assert back.render() == result.render()
+
 
 class TestLightExperiments:
     @pytest.mark.parametrize(
@@ -82,6 +138,8 @@ class TestLightExperiments:
             "figure12",
             "figure13",
             "quantization",
+            "scaling",
+            "e2e",
         ],
     )
     def test_runs_and_produces_body(self, exp_id):
@@ -110,6 +168,13 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Recent generational upgrades" in out
         assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "table1.json").exists()
+
+    def test_run_json_output(self, capsys):
+        assert cli_main(["run", "table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exp_id"] == "table1"
+        assert payload["body"]
 
     def test_run_unknown_experiment(self):
         with pytest.raises(KeyError):
