@@ -30,6 +30,7 @@ from repro.api.spec import (
     PartitionSpec,
     PerfSpec,
     RunSpec,
+    ServeSpec,
     SpecError,
     TrainSpec,
 )
@@ -39,6 +40,7 @@ from repro.api.results import (
     PlanArtifact,
     PriceArtifact,
     RunResult,
+    ServeArtifact,
     TrainArtifact,
 )
 from repro.api.session import Session, spec_auc_sweep
@@ -50,6 +52,7 @@ __all__ = [
     "PartitionSpec",
     "TrainSpec",
     "PerfSpec",
+    "ServeSpec",
     "RunSpec",
     "SpecError",
     "Session",
@@ -59,5 +62,6 @@ __all__ = [
     "PlanArtifact",
     "TrainArtifact",
     "PriceArtifact",
+    "ServeArtifact",
     "RunResult",
 ]

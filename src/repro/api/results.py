@@ -21,6 +21,8 @@ from repro.jsonutil import jsonable
 from repro.partitioner import TPResult
 from repro.perf.iteration_model import IterationBreakdown
 from repro.planner import ShardingPlan
+from repro.serving import ServingModel, ServingReport
+from repro.sim.tracing import Timeline
 from repro.training import EvalResult
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "PlanArtifact",
     "TrainArtifact",
     "PriceArtifact",
+    "ServeArtifact",
     "RunResult",
     "jsonable",
 ]
@@ -174,6 +177,37 @@ class PriceArtifact:
         }
 
 
+@dataclass
+class ServeArtifact:
+    """Serving reports (and their priced timelines) per placement arm."""
+
+    model: ServingModel
+    reports: Dict[str, ServingReport]
+    timelines: Dict[str, Timeline] = field(default_factory=dict)
+
+    @property
+    def p99_speedup(self) -> Optional[float]:
+        """Colocated p99 / disaggregated p99 (>1 means the
+        disaggregated tier wins the tail); None unless both arms ran."""
+        if not {"colocated", "disaggregated"} <= set(self.reports):
+            return None
+        coloc = self.reports["colocated"].latency_ms["p99"]
+        disagg = self.reports["disaggregated"].latency_ms["p99"]
+        return coloc / disagg
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "model": self.model.name,
+            "placements": {
+                name: report.to_dict()
+                for name, report in self.reports.items()
+            },
+        }
+        if self.p99_speedup is not None:
+            out["p99_speedup_disaggregated"] = float(self.p99_speedup)
+        return out
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class RunResult:
@@ -187,6 +221,7 @@ class RunResult:
     plan: Optional[Dict[str, Any]] = None
     train: Optional[Dict[str, Any]] = None
     price: Optional[Dict[str, Any]] = None
+    serve: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def cluster_summary(cluster: Cluster) -> Dict[str, Any]:
@@ -199,7 +234,9 @@ class RunResult:
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"name": self.name, "spec": self.spec}
-        for section in ("cluster", "data", "partition", "plan", "train", "price"):
+        for section in (
+            "cluster", "data", "partition", "plan", "train", "price", "serve"
+        ):
             value = getattr(self, section)
             if value is not None:
                 out[section] = value
@@ -266,4 +303,19 @@ class RunResult:
                 f"DMT {pr['dmt']['total_ms']:.2f} ms -> "
                 f"{pr['speedup']:.2f}x speedup"
             )
+        if self.serve is not None:
+            sv = self.serve
+            for name, rep in sv["placements"].items():
+                lat = rep["latency_ms"]
+                lines.append(
+                    f"serve [{name}]: p50={lat['p50']:.3f}ms "
+                    f"p99={lat['p99']:.3f}ms "
+                    f"tput={rep['throughput_rps']:.0f}/s "
+                    f"cache hit {rep['cache']['hit_rate'] * 100.0:.1f}%"
+                )
+            if "p99_speedup_disaggregated" in sv:
+                lines.append(
+                    f"  disaggregated p99 speedup "
+                    f"{sv['p99_speedup_disaggregated']:.2f}x"
+                )
         return "\n".join(lines)

@@ -5,7 +5,7 @@ workflow — generate click logs, train a probe, learn the tower
 partition, build the DMT model, shard the tables, train, and price the
 iteration — in one call.  Each stage is also callable on its own
 (``build_cluster`` / ``load_data`` / ``build_model`` / ``partition`` /
-``plan`` / ``train`` / ``price``); stages compose the existing
+``plan`` / ``train`` / ``price`` / ``serve``); stages compose the existing
 subpackages, cache their artifacts on the session, and pull in their
 prerequisites lazily, so a pricing-only spec never touches the data
 generator and a quality-only spec never builds paper-scale profiles.
@@ -29,9 +29,17 @@ from repro.api.results import (
     PlanArtifact,
     PriceArtifact,
     RunResult,
+    ServeArtifact,
     TrainArtifact,
 )
-from repro.api.spec import DataSpec, ModelSpec, PartitionSpec, RunSpec, SpecError
+from repro.api.spec import (
+    DataSpec,
+    ModelSpec,
+    PartitionSpec,
+    RunSpec,
+    ServeSpec,
+    SpecError,
+)
 from repro.core.dmt_pipeline import DistributedDMTTrainer
 from repro.core.partition import FeaturePartition
 from repro.data import (
@@ -47,6 +55,15 @@ from repro.partitioner import TowerPartitioner, interaction_from_activations
 from repro.perf.iteration_model import IterationLatencyModel
 from repro.perf.profiles import baseline_profile, dmt_profile_for_towers
 from repro.planner import AutoPlanner
+from repro.serving import (
+    InferenceService,
+    LRUEmbeddingCache,
+    MicroBatcher,
+    Placement,
+    RequestStream,
+    ServingModel,
+    WorkloadConfig,
+)
 from repro.sim import SimCluster
 from repro.training import TrainConfig, Trainer
 
@@ -424,6 +441,74 @@ class Session:
 
         return self._stage("price", build)
 
+    def serve(self) -> ServeArtifact:
+        """Serve a priced synthetic request stream (one trace, one or
+        two placement arms).
+
+        A spec with a model section serves that model's geometry —
+        trained first when a train section is present, freshly built
+        otherwise (with its tower partition, if any).  Only a spec
+        with no model at all serves the paper-scale profile named by
+        ``serve.kind``.
+        """
+
+        def build() -> ServeArtifact:
+            serve: ServeSpec = self._need("serve")
+            cluster = self.build_cluster()
+            if self.spec.model is not None:
+                model_obj = (
+                    self.train().model
+                    if self.spec.train is not None
+                    else self.build_model()
+                )
+                partition = (
+                    self.partition().partition
+                    if self.spec.partition is not None
+                    else None
+                )
+                model = ServingModel.from_trained(model_obj, partition)
+            else:
+                model = ServingModel.from_profile(
+                    baseline_profile(serve.kind)
+                )
+            stream = RequestStream(
+                WorkloadConfig(
+                    qps=serve.qps,
+                    num_requests=serve.num_requests,
+                    num_lookups=model.num_lookups,
+                    key_space=serve.key_space,
+                    skew=serve.skew,
+                    seed=serve.seed,
+                )
+            )
+            requests = stream.generate()
+            placements = (
+                ("colocated", "disaggregated")
+                if serve.placement == "both"
+                else (serve.placement,)
+            )
+            emb_hosts = serve.resolved_emb_hosts(cluster.num_hosts)
+            reports, timelines = {}, {}
+            for strategy in placements:
+                sim = SimCluster(cluster)
+                service = InferenceService(
+                    sim,
+                    model,
+                    Placement(strategy, emb_hosts=emb_hosts),
+                    MicroBatcher(
+                        serve.max_batch_size,
+                        serve.max_queue_delay_ms * 1e-3,
+                    ),
+                    LRUEmbeddingCache(serve.cache_rows),
+                )
+                reports[strategy] = service.serve(requests)
+                timelines[strategy] = sim.timeline
+            return ServeArtifact(
+                model=model, reports=reports, timelines=timelines
+            )
+
+        return self._stage("serve", build)
+
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute every stage the spec describes; collect a RunResult."""
@@ -443,6 +528,8 @@ class Session:
             result.train = self.train().summary()
         if spec.perf is not None:
             result.price = self.price().summary()
+        if spec.serve is not None:
+            result.serve = self.serve().summary()
         return result
 
 

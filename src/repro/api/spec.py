@@ -5,8 +5,9 @@ workflow of the paper's §3.3 pipeline — which cluster to model
 (:class:`ClusterSpec`), which synthetic click logs to generate
 (:class:`DataSpec`), which model to build (:class:`ModelSpec`), how to
 assign features to towers (:class:`PartitionSpec`), how to train
-(:class:`TrainSpec`), and which paper-scale configuration to price
-(:class:`PerfSpec`).  Every spec validates on construction and
+(:class:`TrainSpec`), which paper-scale configuration to price
+(:class:`PerfSpec`), and which inference workload to serve
+(:class:`ServeSpec`).  Every spec validates on construction and
 round-trips through plain dicts / JSON, so a run can be stored next to
 its results and re-executed bit-for-bit via ``dmt-repro run-spec``.
 """
@@ -27,6 +28,7 @@ __all__ = [
     "PartitionSpec",
     "TrainSpec",
     "PerfSpec",
+    "ServeSpec",
     "RunSpec",
     "SpecError",
 ]
@@ -414,6 +416,73 @@ class TrainSpec(_SpecBase):
             )
 
 
+#: Placement arms the serving stage understands ("both" runs the
+#: comparison on one shared request trace).
+SERVE_PLACEMENTS = ("colocated", "disaggregated", "both")
+
+
+@dataclass(frozen=True)
+class ServeSpec(_SpecBase):
+    """Priced inference serving: stream, batching, cache, placement.
+
+    ``kind`` picks the paper-scale model profile to serve when the spec
+    has no model section; a spec with one serves that model's geometry
+    (trained first when a train section is present, freshly built
+    otherwise).  ``placement='both'`` replays one
+    request trace under colocated and disaggregated embedding
+    placement, which is the comparison the ``serving`` experiment
+    reports.
+    """
+
+    kind: str = "dlrm"  # "dlrm" | "dcn" (profile when nothing is trained)
+    qps: float = 500_000.0
+    num_requests: int = 20_000
+    key_space: int = 100_000
+    skew: float = 1.0
+    max_batch_size: int = 64
+    max_queue_delay_ms: float = 1.0
+    cache_rows: int = 16_384
+    placement: str = "both"
+    emb_hosts: Optional[int] = None  # default: max(1, num_hosts // 4)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("dlrm", "dcn"),
+            f"kind must be 'dlrm' or 'dcn', got {self.kind!r}",
+        )
+        _require(self.qps > 0, f"qps must be positive, got {self.qps}")
+        _require(self.num_requests >= 1, "num_requests must be >= 1")
+        _require(self.key_space >= 1, "key_space must be >= 1")
+        _require(self.skew >= 0, f"skew must be >= 0, got {self.skew}")
+        _require(self.max_batch_size >= 1, "max_batch_size must be >= 1")
+        _require(
+            self.max_queue_delay_ms >= 0,
+            "max_queue_delay_ms must be >= 0",
+        )
+        _require(self.cache_rows >= 0, "cache_rows must be >= 0")
+        _require(
+            self.placement in SERVE_PLACEMENTS,
+            f"unknown placement {self.placement!r}; expected one of "
+            f"{SERVE_PLACEMENTS}",
+        )
+        _require(
+            self.emb_hosts is None or self.emb_hosts >= 1,
+            "emb_hosts must be >= 1 when given",
+        )
+
+    @property
+    def serves_disaggregated(self) -> bool:
+        return self.placement in ("disaggregated", "both")
+
+    def resolved_emb_hosts(self, num_hosts: int) -> int:
+        """The embedding-tier size on a given cluster (default: a
+        quarter of the hosts, at least one)."""
+        if self.emb_hosts is not None:
+            return self.emb_hosts
+        return max(1, num_hosts // 4)
+
+
 @dataclass(frozen=True)
 class PerfSpec(_SpecBase):
     """Paper-scale iteration pricing: hybrid baseline vs DMT."""
@@ -458,6 +527,7 @@ class RunSpec(_SpecBase):
     partition: Optional[PartitionSpec] = None
     train: Optional[TrainSpec] = None
     perf: Optional[PerfSpec] = None
+    serve: Optional[ServeSpec] = None
 
     _SECTIONS = {
         "cluster": ClusterSpec,
@@ -466,6 +536,7 @@ class RunSpec(_SpecBase):
         "partition": PartitionSpec,
         "train": TrainSpec,
         "perf": PerfSpec,
+        "serve": ServeSpec,
     }
 
     def __post_init__(self) -> None:
@@ -483,11 +554,34 @@ class RunSpec(_SpecBase):
         _require(
             any(
                 getattr(self, s) is not None
-                for s in ("data", "partition", "train", "perf")
+                for s in ("data", "partition", "train", "perf", "serve")
             ),
             "spec describes no work: set at least one of data, partition, "
-            "train, or perf",
+            "train, perf, or serve",
         )
+        if self.serve is not None:
+            if self.serve.serves_disaggregated:
+                emb_hosts = self.serve.resolved_emb_hosts(
+                    self.cluster.num_hosts
+                )
+                _require(
+                    emb_hosts < self.cluster.num_hosts,
+                    f"disaggregated serving needs at least one dense host: "
+                    f"emb_hosts={emb_hosts} on a {self.cluster.num_hosts}-"
+                    f"host cluster",
+                )
+            if self.model is not None:
+                # Serving a spec model builds it, which needs the same
+                # prerequisites training does — fail at construction,
+                # not mid-run.
+                _require(
+                    self.data is not None,
+                    "serving the spec's model requires a data section",
+                )
+                _require(
+                    self.model.variant != "dmt" or self.partition is not None,
+                    "serving a DMT variant requires a partition section",
+                )
         if self.train is not None:
             _require(
                 self.data is not None and self.model is not None,

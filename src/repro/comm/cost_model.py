@@ -189,10 +189,15 @@ class CollectiveCostModel:
     def allgather(self, group: ProcessGroup, bytes_per_rank: int) -> CollectiveTiming:
         """AllGather: half an AllReduce ring, mirrored direction.
 
-        ``bytes_per_rank`` is the size of the *full gathered* buffer on
-        each rank (NCCL convention for bus-bandwidth accounting).
+        ``bytes_per_rank`` is each rank's *input shard* — the per-rank
+        payload convention every collective here shares.  The ring moves
+        ``S*(W-1)`` bytes per rank, identical wire traffic to a
+        ReduceScatter over the ``S*W``-byte gathered buffer, so the
+        returned timing (and its NCCL-convention bus bandwidth, which is
+        keyed to the gathered size) is computed as that half ring.
         """
-        return self._half_ring(group, bytes_per_rank)
+        self._check_size(bytes_per_rank)
+        return self._half_ring(group, bytes_per_rank * group.world_size)
 
     def _half_ring(self, group: ProcessGroup, bytes_per_rank: int) -> CollectiveTiming:
         self._check_size(bytes_per_rank)

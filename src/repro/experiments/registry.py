@@ -38,6 +38,7 @@ DRIVER_MODULES = (
     "quantization",
     "e2e",
     "scaling",
+    "serving",
 )
 
 _loaded = False

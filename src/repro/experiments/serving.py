@@ -1,0 +1,91 @@
+"""Inference serving: colocated vs disaggregated embedding placement.
+
+The training-side result of the paper — topology-aware placement of
+the embedding exchange — transfers to inference (DisaggRec,
+arXiv:2212.00939; FlexEMR, arXiv:2410.12794).  This driver replays one
+Poisson request trace under both placements at a moderate and a high
+offered QPS and reports tail latency, sustained throughput, and cache
+hit rate.
+
+At moderate load the two placements are equivalent: latency is
+dominated by the micro-batcher's queue delay.  At high load the
+colocated arm saturates first — every batch's embedding AlltoAll spans
+the whole fabric, so batches serialize behind a large-world collective
+— while the disaggregated tier's point-to-point fetches (shrunk by the
+LRU cache's hot-row hits) keep the tail flat.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.api import ClusterSpec, RunSpec, ServeSpec, Session
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+
+#: The serving cluster: 8 hosts x 4 A100 (one serving replica per
+#: host; the disaggregated arm dedicates 2 hosts to embeddings).
+_CLUSTER = ClusterSpec(num_hosts=8, gpus_per_host=4, generation="A100")
+_EMB_HOSTS = 2
+
+#: Offered load points (requests/s).  3M QPS is past the colocated
+#: arm's fabric saturation but inside the disaggregated tier's
+#: capacity on this cluster.
+_MODERATE_QPS = 200_000.0
+_HIGH_QPS = 3_000_000.0
+
+
+def _serve(qps: float, num_requests: int) -> Dict[str, Any]:
+    spec = RunSpec(
+        name=f"serving-{int(qps)}",
+        cluster=_CLUSTER,
+        serve=ServeSpec(
+            kind="dlrm",
+            qps=qps,
+            num_requests=num_requests,
+            emb_hosts=_EMB_HOSTS,
+            placement="both",
+        ),
+    )
+    return {"spec": spec.to_dict(), **Session(spec).serve().summary()}
+
+
+@register("serving", "Inference serving: colocated vs disaggregated")
+def run(fast: bool = True) -> ExperimentResult:
+    num_requests = 20_000 if fast else 100_000
+    moderate = _serve(_MODERATE_QPS, num_requests)
+    high = _serve(_HIGH_QPS, num_requests)
+
+    rows = []
+    for label, result in (("moderate", moderate), ("high", high)):
+        qps = _MODERATE_QPS if label == "moderate" else _HIGH_QPS
+        for placement, rep in result["placements"].items():
+            lat = rep["latency_ms"]
+            rows.append(
+                [
+                    f"{qps / 1e3:.0f}k {label}",
+                    placement,
+                    f"{lat['p50']:.3f}",
+                    f"{lat['p99']:.3f}",
+                    f"{rep['throughput_rps'] / 1e3:.0f}k",
+                    f"{rep['cache']['hit_rate'] * 100.0:.1f}%",
+                ]
+            )
+    body = format_table(
+        ["QPS", "placement", "p50 ms", "p99 ms", "tput", "cache hit"], rows
+    )
+    body += (
+        f"\nhigh-QPS p99: disaggregated wins "
+        f"{high['p99_speedup_disaggregated']:.1f}x (colocated saturates "
+        f"on the shared embedding fabric)"
+    )
+    return ExperimentResult(
+        exp_id="serving",
+        title="Disaggregated embedding tier wins the serving tail",
+        body=body,
+        data={"moderate_qps": moderate, "high_qps": high},
+        paper_reference=(
+            "beyond-paper extension: DMT's topology argument applied to "
+            "inference (cf. DisaggRec 2212.00939, FlexEMR 2410.12794)"
+        ),
+    )

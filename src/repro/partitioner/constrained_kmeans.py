@@ -73,6 +73,32 @@ class ConstrainedKMeans:
         labels[rows] = cols // cap
         return labels
 
+    def _init_centers(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """k-means++-style spread initialization; returns point indices.
+
+        Points coincident with an already-chosen center carry zero
+        selection weight, and when *every* remaining point is coincident
+        (duplicate-heavy inputs) the fallback draws only from indices
+        not yet chosen — so the same point can never be selected twice
+        and seed two identical centers.
+        """
+        n = x.shape[0]
+        chosen = [int(rng.choice(n))]
+        while len(chosen) < self.n_clusters:
+            d2 = ((x[:, None, :] - x[chosen][None, :, :]) ** 2).sum(-1).min(axis=1)
+            total = d2.sum()
+            if total > 0:
+                idx = int(rng.choice(n, p=d2 / total))
+            else:
+                # Every point coincides with a chosen center; pick an
+                # unused index so no point seeds two centers.
+                unused = np.setdiff1d(np.arange(n), chosen)
+                idx = int(rng.choice(unused))
+            chosen.append(idx)
+        return np.asarray(chosen)
+
     def fit(self, x: np.ndarray, rng: Optional[np.random.Generator] = None):
         """Cluster points; returns self (sklearn-style)."""
         x = np.asarray(x, dtype=np.float64)
@@ -87,14 +113,7 @@ class ConstrainedKMeans:
         rng = rng or np.random.default_rng(0)
         cap = self._cap(n)
 
-        # k-means++-style spread initialization.
-        centers = x[rng.choice(n, size=1)]
-        while centers.shape[0] < self.n_clusters:
-            d2 = ((x[:, None, :] - centers[None, :, :]) ** 2).sum(-1).min(axis=1)
-            probs = d2 / d2.sum() if d2.sum() > 0 else None
-            idx = rng.choice(n, p=probs)
-            centers = np.vstack([centers, x[idx]])
-
+        centers = x[self._init_centers(x, rng)].copy()
         labels = self._assign(x, centers, cap)
         prev_inertia = np.inf
         for it in range(self.max_iter):

@@ -1,0 +1,48 @@
+"""Priced inference serving: request streams -> batches -> tail latency.
+
+The training side of this repository models *throughput* (seconds per
+iteration); serving cares about *tail latency under load*.  This
+package closes that gap with a discrete-event inference simulator built
+on the same cost-model machinery:
+
+- :mod:`repro.serving.workload` — Poisson request streams with
+  hot-key skew;
+- :mod:`repro.serving.batcher` — dynamic micro-batching
+  (flush-on-full / flush-on-deadline);
+- :mod:`repro.serving.cache` — LRU embedding cache with hit-rate
+  accounting;
+- :mod:`repro.serving.service` — the :class:`InferenceService` that
+  prices each served batch through
+  :class:`~repro.comm.cost_model.CollectiveCostModel` on a
+  :class:`~repro.sim.SimCluster` and reports p50/p95/p99 latency,
+  sustained throughput, and per-phase timeline breakdowns for
+  colocated vs disaggregated embedding placement.
+"""
+
+from repro.serving.batcher import MicroBatch, MicroBatcher
+from repro.serving.cache import CacheStats, LRUEmbeddingCache
+from repro.serving.service import (
+    ID_WIRE_BYTES,
+    InferenceService,
+    PLACEMENT_STRATEGIES,
+    Placement,
+    ServingModel,
+    ServingReport,
+)
+from repro.serving.workload import Request, RequestStream, WorkloadConfig
+
+__all__ = [
+    "Request",
+    "RequestStream",
+    "WorkloadConfig",
+    "MicroBatch",
+    "MicroBatcher",
+    "CacheStats",
+    "LRUEmbeddingCache",
+    "ServingModel",
+    "Placement",
+    "InferenceService",
+    "ServingReport",
+    "PLACEMENT_STRATEGIES",
+    "ID_WIRE_BYTES",
+]

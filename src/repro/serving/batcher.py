@@ -1,0 +1,107 @@
+"""Dynamic micro-batching: flush on full batch or on queue deadline.
+
+The serving tier amortizes per-batch costs (collective launch latency,
+kernel launches) by grouping concurrent requests, at the price of
+held-back latency for the requests that arrive first.  The policy here
+is the standard dynamic batcher (TorchServe / Triton semantics): a
+batch opens when a request arrives into an empty queue and closes at
+whichever comes first of
+
+- **flush-on-full** — the ``max_batch_size``-th request arrives, or
+- **flush-on-deadline** — ``max_delay_s`` elapses since the batch
+  opened.
+
+This is an offline replay over a complete arrival trace, so the
+deadline flush needs no timer machinery: a batch whose deadline passes
+before the next arrival simply closes at its deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.workload import Request
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """A group of requests served as one unit."""
+
+    requests: Tuple[Request, ...]
+    ready_s: float  # when the batch closed (full or deadline)
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a micro-batch must contain >= 1 request")
+        last_arrival = max(r.arrival_s for r in self.requests)
+        if self.ready_s < last_arrival:
+            raise ValueError(
+                f"batch cannot close ({self.ready_s}) before its last "
+                f"request arrives ({last_arrival})"
+            )
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def keys(self) -> np.ndarray:
+        """All embedding row ids the batch needs (with duplicates)."""
+        return np.concatenate([r.keys for r in self.requests])
+
+    def batching_delay_s(self) -> float:
+        """Mean time requests spent waiting for the batch to close."""
+        return float(
+            np.mean([self.ready_s - r.arrival_s for r in self.requests])
+        )
+
+
+class MicroBatcher:
+    """Groups an arrival-ordered request trace into micro-batches.
+
+    Examples
+    --------
+    >>> from repro.serving.workload import Request
+    >>> import numpy as np
+    >>> reqs = [Request(i, 0.001 * i, np.array([i])) for i in range(3)]
+    >>> batches = MicroBatcher(max_batch_size=2,
+    ...                        max_delay_s=1.0).form_batches(reqs)
+    >>> [b.size for b in batches], batches[0].ready_s  # flush on full
+    ([2, 1], 0.001)
+    """
+
+    def __init__(self, max_batch_size: int, max_delay_s: float):
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.max_batch_size = max_batch_size
+        self.max_delay_s = max_delay_s
+
+    def form_batches(self, requests: Sequence[Request]) -> List[MicroBatch]:
+        ordered = sorted(requests, key=lambda r: r.arrival_s)
+        batches: List[MicroBatch] = []
+        pending: List[Request] = []
+        deadline = 0.0
+        for req in ordered:
+            if pending and req.arrival_s > deadline:
+                # Deadline passed before this arrival: flush-on-deadline.
+                batches.append(MicroBatch(tuple(pending), ready_s=deadline))
+                pending = []
+            if not pending:
+                deadline = req.arrival_s + self.max_delay_s
+            pending.append(req)
+            if len(pending) == self.max_batch_size:
+                # Flush-on-full at the closing request's arrival.
+                batches.append(
+                    MicroBatch(tuple(pending), ready_s=req.arrival_s)
+                )
+                pending = []
+        if pending:
+            batches.append(MicroBatch(tuple(pending), ready_s=deadline))
+        return batches

@@ -1,0 +1,335 @@
+"""Priced inference serving on a simulated cluster.
+
+An :class:`InferenceService` replays a request trace through the
+micro-batcher, the LRU embedding cache, and the existing collective
+cost model, and reports tail latency + sustained throughput.  Two
+placement strategies are modeled (the DisaggRec framing,
+arXiv:2212.00939):
+
+- **colocated** — every host runs both embedding shards and dense
+  scoring.  Each served batch's remote rows arrive via an AlltoAll over
+  the *global* group: all ranks participate in every batch's exchange,
+  so concurrent batches serialize on the shared fabric, and each batch
+  pays the large-world launch latency even when the cache leaves only
+  a few bytes to move.
+- **disaggregated** — the first ``emb_hosts`` hosts form a dedicated
+  embedding tier; the remaining hosts serve dense traffic.  A batch's
+  cache misses are fetched with a scatter/gather priced as one
+  cross-host point-to-point transfer (ids up, rows down, single launch
+  latency), and the tier's hosts serve fetches in parallel — embedding
+  capacity scales independently of dense capacity.
+
+Every batch appends to the service's :class:`~repro.sim.Timeline`
+(``QUEUE`` = batching + queueing wait, ``EMBEDDING_COMM`` = priced
+fetch, ``COMPUTE`` = dense forward + cached-row reads, with flops
+recorded), so a served run has the same per-phase breakdown story as a
+simulated training run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.process_group import global_group
+from repro.perf.profiles import ModelProfile
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import LRUEmbeddingCache
+from repro.serving.workload import Request
+from repro.sim.cluster import SimCluster
+from repro.sim.tracing import Phase
+
+PLACEMENT_STRATEGIES = ("colocated", "disaggregated")
+
+#: Wire bytes per embedding row id in the fetch request leg.
+ID_WIRE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ServingModel:
+    """What serving latency depends on: lookup geometry + dense flops."""
+
+    name: str
+    num_lookups: int  # embedding rows per request
+    embedding_dim: int
+    dense_mflops: float  # forward MFlops per request
+    itemsize: int = 4
+    num_towers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_lookups < 1 or self.embedding_dim < 1:
+            raise ValueError("lookup geometry must be positive")
+        if self.dense_mflops <= 0:
+            raise ValueError(
+                f"dense_mflops must be positive, got {self.dense_mflops}"
+            )
+
+    @property
+    def row_bytes(self) -> int:
+        return self.embedding_dim * self.itemsize
+
+    @classmethod
+    def from_profile(cls, profile: ModelProfile) -> "ServingModel":
+        """Serving geometry of a paper-scale training profile."""
+        return cls(
+            name=profile.name,
+            num_lookups=profile.num_sparse * profile.pooling,
+            embedding_dim=profile.embedding_dim,
+            dense_mflops=profile.total_mflops,
+            num_towers=profile.num_towers,
+        )
+
+    @classmethod
+    def from_trained(cls, model: Any, partition: Any = None) -> "ServingModel":
+        """Serving geometry of a trained in-repo model (DLRM/DCN/DMT).
+
+        ``partition`` (a :class:`~repro.core.partition.FeaturePartition`)
+        tags the tower count the model was trained under.
+        """
+        return cls(
+            name=type(model).__name__,
+            num_lookups=int(model.num_sparse),
+            embedding_dim=int(model.embedding_dim),
+            dense_mflops=float(model.flops_per_sample()) / 1e6,
+            num_towers=partition.num_towers if partition is not None else 0,
+        )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where embedding shards live relative to dense serving."""
+
+    strategy: str = "colocated"
+    emb_hosts: int = 1  # disaggregated only: hosts in the embedding tier
+
+    def __post_init__(self) -> None:
+        if self.strategy not in PLACEMENT_STRATEGIES:
+            raise ValueError(
+                f"unknown placement {self.strategy!r}; expected one of "
+                f"{PLACEMENT_STRATEGIES}"
+            )
+        if self.emb_hosts < 1:
+            raise ValueError(f"emb_hosts must be >= 1, got {self.emb_hosts}")
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one served trace."""
+
+    placement: str
+    model: str
+    num_requests: int
+    num_batches: int
+    mean_batch_size: float
+    offered_qps: Optional[float]  # None for a single-request trace
+    throughput_rps: float
+    makespan_s: float
+    latency_ms: Dict[str, float]  # p50 / p95 / p99 / mean / max
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    breakdown_ms: Dict[str, float]  # timeline phase -> total ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "placement": self.placement,
+            "model": self.model,
+            "num_requests": self.num_requests,
+            "num_batches": self.num_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "offered_qps": self.offered_qps,
+            "throughput_rps": self.throughput_rps,
+            "makespan_s": self.makespan_s,
+            "latency_ms": dict(self.latency_ms),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "breakdown_ms": dict(self.breakdown_ms),
+        }
+
+    def format_row(self) -> str:
+        lat = self.latency_ms
+        return (
+            f"{self.placement:<14} p50={lat['p50']:8.3f}ms "
+            f"p95={lat['p95']:8.3f}ms p99={lat['p99']:8.3f}ms "
+            f"tput={self.throughput_rps:9.0f}/s "
+            f"hit={self.cache_hit_rate * 100.0:5.1f}%"
+        )
+
+
+class InferenceService:
+    """Serves a request trace on a :class:`SimCluster`, pricing every
+    batch through the collective cost model.
+
+    One serving replica per dense host (its GPUs score jointly); the
+    embedding path is the placement-dependent shared resource — the
+    global fabric when colocated, the tier's hosts when disaggregated.
+    """
+
+    def __init__(
+        self,
+        sim: SimCluster,
+        model: ServingModel,
+        placement: Placement,
+        batcher: MicroBatcher,
+        cache: Optional[LRUEmbeddingCache] = None,
+    ):
+        cluster = sim.cluster
+        if placement.strategy == "disaggregated":
+            if placement.emb_hosts >= cluster.num_hosts:
+                raise ValueError(
+                    f"disaggregated placement needs at least one dense "
+                    f"host: emb_hosts={placement.emb_hosts} on a "
+                    f"{cluster.num_hosts}-host cluster"
+                )
+            self.num_replicas = cluster.num_hosts - placement.emb_hosts
+            self.num_fetch_servers = placement.emb_hosts
+            # Representative cross-tier pair for point-to-point pricing.
+            self._fetch_src = cluster.ranks_on_host(0)[0]
+            self._fetch_dst = cluster.ranks_on_host(placement.emb_hosts)[0]
+        else:
+            self.num_replicas = cluster.num_hosts
+            self.num_fetch_servers = 1  # the shared global fabric
+            self._fetch_src = self._fetch_dst = 0
+        self.sim = sim
+        self.model = model
+        self.placement = placement
+        self.batcher = batcher
+        self.cache = cache if cache is not None else LRUEmbeddingCache(0)
+        self._world = global_group(cluster)
+
+    # ------------------------------------------------------------------
+    # Per-batch cost terms
+    # ------------------------------------------------------------------
+    def _fetch_timing(self, num_miss_rows: int) -> "tuple[float, int, int]":
+        """Price moving ``num_miss_rows`` embedding rows to the replica.
+
+        Returns ``(seconds, priced_nbytes, world)`` where
+        ``priced_nbytes`` is the per-rank payload handed to the cost
+        model — the same number the timeline event records, per the
+        byte-accounting convention in :mod:`repro.sim.cluster`.
+        """
+        row_bytes = num_miss_rows * self.model.row_bytes
+        if self.placement.strategy == "colocated":
+            # Rows are striped over every rank's shard: a global
+            # AlltoAll whose per-rank payload is the striped share.
+            per_rank = max(1, math.ceil(row_bytes / self._world.world_size))
+            timing = self.sim.cost_model.alltoall(self._world, per_rank)
+            return timing.seconds, per_rank, self._world.world_size
+        # Disaggregated: ids up + rows down across the tier boundary,
+        # one launch latency.  The replica's GPUs each pull their slice
+        # of the batch over their own NIC, so the scatter/gather is
+        # bounded by the slowest of those parallel cross-host streams.
+        nbytes = row_bytes + num_miss_rows * ID_WIRE_BYTES
+        streams = self.sim.cluster.gpus_per_host
+        per_stream = max(1, math.ceil(nbytes / streams))
+        timing = self.sim.cost_model.point_to_point(
+            self._world, self._fetch_src, self._fetch_dst, per_stream
+        )
+        return timing.seconds, per_stream, 2
+
+    def _dense_seconds(self, batch_size: int) -> float:
+        """Forward scoring on one replica (all its GPUs share the batch)."""
+        spec = self.sim.cluster.spec
+        flops = self.model.dense_mflops * 1e6 * batch_size
+        return flops / (spec.effective_flops * self.sim.cluster.gpus_per_host)
+
+    def _hit_read_seconds(self, num_hit_rows: int) -> float:
+        """Cached rows still cross HBM once (read + concat write)."""
+        spec = self.sim.cluster.spec
+        return 2.0 * num_hit_rows * self.model.row_bytes / spec.hbm_bytes_per_s
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[Request]) -> ServingReport:
+        """Replay the trace; returns the latency/throughput report."""
+        if not requests:
+            raise ValueError("cannot serve an empty request trace")
+        batches = self.batcher.form_batches(requests)
+        replica_free = np.zeros(self.num_replicas)
+        fetch_free = np.zeros(self.num_fetch_servers)
+        timeline = self.sim.timeline
+        # Snapshot cumulative state so the report covers *this* trace
+        # even when the service (or its SimCluster) is reused.
+        events_before = len(timeline.events)
+        stats_before = self.cache.stats
+        latencies: List[float] = []
+        last_done = 0.0
+        for batch in batches:
+            replica = int(np.argmin(replica_free))
+            start = max(batch.ready_s, float(replica_free[replica]))
+            hits, miss_keys = self.cache.lookup(batch.keys)
+            if len(miss_keys):
+                server = int(np.argmin(fetch_free))
+                fetch_start = max(start, float(fetch_free[server]))
+                t_fetch, priced_nbytes, fetch_world = self._fetch_timing(
+                    len(miss_keys)
+                )
+                fetch_end = fetch_start + t_fetch
+                fetch_free[server] = fetch_end
+                self.cache.admit(miss_keys)
+                timeline.add(
+                    Phase.EMBEDDING_COMM,
+                    f"fetch/{self.placement.strategy}",
+                    t_fetch,
+                    nbytes=priced_nbytes,
+                    world_size=fetch_world,
+                )
+            else:
+                fetch_start = fetch_end = start
+            t_dense = self._dense_seconds(batch.size)
+            t_hit = self._hit_read_seconds(hits)
+            dense_flops = int(self.model.dense_mflops * 1e6 * batch.size)
+            timeline.add(
+                Phase.COMPUTE,
+                "dense forward",
+                t_dense + t_hit,
+                flops=dense_flops,
+            )
+            timeline.add(
+                Phase.QUEUE,
+                "batching+queueing",
+                batch.batching_delay_s() + (fetch_start - batch.ready_s),
+            )
+            done = fetch_end + t_dense + t_hit
+            replica_free[replica] = done
+            last_done = max(last_done, done)
+            latencies.extend(done - r.arrival_s for r in batch.requests)
+
+        arrivals = [r.arrival_s for r in requests]
+        span = max(arrivals) - min(arrivals)
+        offered = (len(requests) - 1) / span if span > 0 else None
+        makespan = last_done - min(arrivals)
+        lat = np.asarray(latencies) * 1e3
+        hits = self.cache.stats.hits - stats_before.hits
+        misses = self.cache.stats.misses - stats_before.misses
+        breakdown: Dict[str, float] = {}
+        for event in timeline.events[events_before:]:
+            breakdown[event.phase.value] = (
+                breakdown.get(event.phase.value, 0.0) + event.seconds * 1e3
+            )
+        return ServingReport(
+            placement=self.placement.strategy,
+            model=self.model.name,
+            num_requests=len(requests),
+            num_batches=len(batches),
+            mean_batch_size=len(requests) / len(batches),
+            offered_qps=None if offered is None else float(offered),
+            throughput_rps=float(len(requests) / makespan),
+            makespan_s=float(makespan),
+            latency_ms={
+                "p50": float(np.percentile(lat, 50)),
+                "p95": float(np.percentile(lat, 95)),
+                "p99": float(np.percentile(lat, 99)),
+                "mean": float(lat.mean()),
+                "max": float(lat.max()),
+            },
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            breakdown_ms=breakdown,
+        )

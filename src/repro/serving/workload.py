@@ -1,0 +1,126 @@
+"""Synthetic inference request streams: Poisson arrivals, hot-key skew.
+
+Recommendation inference traffic has two load-bearing statistical
+properties this generator reproduces:
+
+- **Poisson arrivals** at a configurable offered QPS — inter-arrival
+  gaps are exponential, so instantaneous load is bursty and queueing
+  behaviour (the p99 story) is non-trivial even below saturation;
+- **hot-key skew** — embedding-row popularity follows a power law
+  (a handful of users/items dominate traffic), which is exactly what
+  makes an LRU embedding cache on the dense tier effective (the
+  FlexEMR observation, arXiv:2410.12794).
+
+Key popularity is ``p(k) ~ 1 / (k + 1)^skew`` over a ``key_space`` of
+embedding rows; ``skew=0`` degenerates to uniform traffic (the
+cache-hostile worst case).  Everything is driven by one seeded
+generator, so a stream is bit-reproducible from its config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True, eq=False)
+class Request:
+    """One inference request: arrival time plus the embedding rows it
+    needs (one id per sparse feature lookup)."""
+
+    req_id: int
+    arrival_s: float
+    keys: np.ndarray  # (num_lookups,) int64 embedding row ids
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError(f"arrival must be >= 0, got {self.arrival_s}")
+
+    def __eq__(self, other: object) -> bool:
+        # The generated dataclass __eq__ chokes on ndarray fields.
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (
+            self.req_id == other.req_id
+            and self.arrival_s == other.arrival_s
+            and np.array_equal(self.keys, other.keys)
+        )
+
+    def __hash__(self) -> int:
+        # Defining __eq__ suppresses the dataclass hash; restore one
+        # consistent with it so requests can key sets/dicts.
+        return hash((self.req_id, self.arrival_s, self.keys.tobytes()))
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of one synthetic request stream."""
+
+    qps: float = 1000.0
+    num_requests: int = 1000
+    num_lookups: int = 26  # embedding rows per request (Criteo: 26)
+    key_space: int = 100_000  # distinct embedding rows in the universe
+    skew: float = 1.0  # power-law exponent; 0 = uniform
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.num_lookups < 1:
+            raise ValueError("num_lookups must be >= 1")
+        if self.key_space < 1:
+            raise ValueError("key_space must be >= 1")
+        if self.skew < 0:
+            raise ValueError(f"skew must be >= 0, got {self.skew}")
+
+
+class RequestStream:
+    """Seeded generator of one request stream.
+
+    Examples
+    --------
+    >>> stream = RequestStream(WorkloadConfig(qps=100.0, num_requests=4))
+    >>> reqs = stream.generate()
+    >>> len(reqs), reqs[0].keys.shape
+    (4, (26,))
+    >>> reqs == stream.generate()  # deterministic
+    True
+    """
+
+    def __init__(self, config: WorkloadConfig):
+        self.config = config
+        # Popularity CDF: rank-ordered power law over the key space.
+        weights = 1.0 / np.power(
+            np.arange(1, config.key_space + 1, dtype=np.float64), config.skew
+        )
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def _sample_keys(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        u = rng.random(count)
+        return np.searchsorted(self._cdf, u).astype(np.int64)
+
+    def generate(self) -> List[Request]:
+        """The full stream, sorted by arrival time."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        gaps = rng.exponential(1.0 / cfg.qps, size=cfg.num_requests)
+        arrivals = np.cumsum(gaps)
+        keys = self._sample_keys(rng, cfg.num_requests * cfg.num_lookups)
+        keys = keys.reshape(cfg.num_requests, cfg.num_lookups)
+        return [
+            Request(req_id=i, arrival_s=float(arrivals[i]), keys=keys[i])
+            for i in range(cfg.num_requests)
+        ]
+
+    def hot_fraction(self, top_keys: int) -> float:
+        """Probability mass carried by the ``top_keys`` hottest rows
+        (the best hit rate an LRU of that capacity can converge to)."""
+        if top_keys <= 0:
+            return 0.0
+        top = min(top_keys, self.config.key_space)
+        return float(self._cdf[top - 1])

@@ -10,6 +10,13 @@ Concurrency convention: collectives over *disjoint* groups that execute
 in the same logical step (e.g. SPTT's ``L`` peer AlltoAlls) should be
 priced as one parallel step — use :meth:`SimCluster.alltoall_concurrent`
 which records ``max`` over groups rather than the sum.
+
+Byte-accounting convention: every priced collective passes the **per-rank
+input payload** — the bytes each rank holds *before* the collective runs
+(maxed over ranks) — to the cost model and records that same number on
+the timeline event.  AllGather included: its ``nbytes`` is the per-rank
+shard being contributed, not the ``W``-times-larger gathered buffer, so
+``Timeline.bytes_by_phase`` sums are comparable across collective kinds.
 """
 
 from __future__ import annotations
@@ -233,11 +240,10 @@ class SimCluster:
         label: str,
         axis: int = 0,
     ) -> Dict[int, np.ndarray]:
-        gathered = F.allgather(group, buffers, axis=axis)
-        nbytes = self._buffer_bytes(gathered)
+        nbytes = self._buffer_bytes(buffers)
         timing = self.cost_model.allgather(group, nbytes)
         self.timeline.add(phase, label, timing.seconds, nbytes, group.world_size)
-        return gathered
+        return F.allgather(group, buffers, axis=axis)
 
     # ------------------------------------------------------------------
     # Local (per-rank) priced operations
@@ -253,7 +259,7 @@ class SimCluster:
 
     def compute(self, seconds: float, label: str, flops: int = 0) -> None:
         """Record a compute block executing concurrently on every rank."""
-        self.timeline.add(Phase.COMPUTE, label, seconds, 0, 1)
+        self.timeline.add(Phase.COMPUTE, label, seconds, 0, 1, flops=flops)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimCluster({self.cluster!r}, events={len(self.timeline)})"

@@ -26,6 +26,7 @@ class Phase(enum.Enum):
     EMBEDDING_COMM = "embedding_comm"
     DENSE_SYNC = "dense_sync"
     SHUFFLE = "shuffle"
+    QUEUE = "queue"  # serving only: batching + replica queueing delay
     OTHER = "other"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -41,10 +42,13 @@ class TraceEvent:
     seconds: float
     nbytes: int = 0
     world_size: int = 1
+    flops: int = 0
 
     def __post_init__(self) -> None:
         if self.seconds < 0:
             raise ValueError(f"event duration must be >= 0, got {self.seconds}")
+        if self.flops < 0:
+            raise ValueError(f"event flops must be >= 0, got {self.flops}")
 
 
 @dataclass
@@ -60,6 +64,7 @@ class Timeline:
         seconds: float,
         nbytes: int = 0,
         world_size: int = 1,
+        flops: int = 0,
     ) -> TraceEvent:
         event = TraceEvent(
             phase=phase,
@@ -67,6 +72,7 @@ class Timeline:
             seconds=seconds,
             nbytes=nbytes,
             world_size=world_size,
+            flops=flops,
         )
         self.events.append(event)
         return event
@@ -99,6 +105,12 @@ class Timeline:
         for e in self.events:
             out[e.phase] = out.get(e.phase, 0) + e.nbytes
         return out
+
+    def total_flops(self, phase: Optional[Phase] = None) -> int:
+        """Total recorded flops, optionally restricted to one phase."""
+        return sum(
+            e.flops for e in self.events if phase is None or e.phase is phase
+        )
 
     def clear(self) -> None:
         self.events.clear()

@@ -147,6 +147,11 @@ class Trainer:
         batch_size: int = 4096,
     ) -> EvalResult:
         """Metrics on held-out data (batched to bound memory)."""
+        if len(labels) == 0:
+            raise ValueError(
+                "cannot evaluate on an empty eval set; check the "
+                "eval_fraction / split producing these arrays"
+            )
         logits = np.concatenate(
             [
                 self.model(dense[i : i + batch_size], ids[i : i + batch_size])

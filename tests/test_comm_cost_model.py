@@ -157,8 +157,12 @@ class TestCostModelStructure:
         assert bw_term_rs == pytest.approx(bw_term_ar / 2, rel=1e-6)
 
     def test_allgather_matches_reducescatter(self, model):
+        # Per-rank-payload convention: AllGather of an S-byte input
+        # shard moves the same ring traffic as ReduceScatter over the
+        # S*W-byte gathered buffer.
         g = global_group(a100(64))
-        assert model.allgather(g, 1 << 26).seconds == pytest.approx(
+        shard = (1 << 26) // 64
+        assert model.allgather(g, shard).seconds == pytest.approx(
             model.reducescatter(g, 1 << 26).seconds
         )
 

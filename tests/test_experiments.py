@@ -37,13 +37,14 @@ ALL_IDS = {
     "quantization",
     "e2e",
     "scaling",
+    "serving",
 }
 
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
-        assert len(ids) == 18
+        assert len(ids) == 19
         assert ids == ALL_IDS
 
     def test_registry_lazy_imports_drivers(self):
@@ -140,6 +141,7 @@ class TestLightExperiments:
             "quantization",
             "scaling",
             "e2e",
+            "serving",
         ],
     )
     def test_runs_and_produces_body(self, exp_id):
@@ -147,6 +149,14 @@ class TestLightExperiments:
         assert result.exp_id == exp_id
         assert len(result.body) > 40
         assert result.paper_reference
+
+    def test_serving_headline(self):
+        """Acceptance: past saturation the disaggregated tier wins p99."""
+        result = get_experiment("serving")(fast=True)
+        assert result.data["high_qps"]["p99_speedup_disaggregated"] > 1.5
+        coloc = result.data["high_qps"]["placements"]["colocated"]
+        assert 0.0 < coloc["cache"]["hit_rate"] < 1.0
+        assert "embedding_comm" in coloc["breakdown_ms"]
 
     def test_figure10_headline(self):
         result = get_experiment("figure10")(fast=True)

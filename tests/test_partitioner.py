@@ -167,6 +167,21 @@ class TestConstrainedKMeans:
         rand_inertia = ((x - centers[rand_labels]) ** 2).sum()
         assert km.inertia_ <= rand_inertia + 1e-9
 
+    def test_kmeanspp_init_never_selects_a_point_twice(self):
+        """Regression: with duplicate-heavy inputs the old k-means++
+        init could draw an already-chosen point (uniform fallback once
+        every remaining distance was zero), seeding two identical
+        centers from the same point."""
+        x = np.array([[0.0, 0.0]] * 6 + [[1.0, 1.0], [2.0, 2.0]])
+        km = ConstrainedKMeans(n_clusters=4)
+        for seed in range(25):
+            idx = km._init_centers(x, np.random.default_rng(seed))
+            assert len(set(idx.tolist())) == km.n_clusters
+        # and the full fit still balances on such degenerate inputs
+        km.fit(x, rng=np.random.default_rng(0))
+        assert km.group_sizes().sum() == len(x)
+        assert max(km.group_sizes()) <= 2  # cap = ceil(8/4)
+
 
 class TestTowerPartitioner:
     def test_coherent_recovers_planted_blocks(self, rng):

@@ -104,6 +104,33 @@ class TestSimClusterCollectives:
         ag = sim.allgather(sim.world, rs, phase=Phase.EMBEDDING_COMM, label="ag")
         np.testing.assert_allclose(ag[0], [0.0, 4.0, 8.0, 12.0])
 
+    def test_allgather_prices_per_rank_input_payload(self, sim):
+        """Regression: the event must record the pre-gather shard (the
+        per-rank payload convention), not the W-times-larger gathered
+        buffer, and time it accordingly."""
+        shard = np.zeros(32)  # 256 B float64 per rank
+        sim.allgather(
+            sim.world,
+            {r: shard.copy() for r in range(4)},
+            phase=Phase.EMBEDDING_COMM,
+            label="ag",
+        )
+        event = sim.timeline.events[-1]
+        assert event.nbytes == shard.nbytes  # not 4 * shard.nbytes
+        expected = sim.cost_model.allgather(sim.world, shard.nbytes).seconds
+        assert event.seconds == pytest.approx(expected)
+        # Same wire traffic as ReduceScatter over the gathered buffer.
+        rs = sim.cost_model.reducescatter(sim.world, 4 * shard.nbytes)
+        assert event.seconds == pytest.approx(rs.seconds)
+
+    def test_compute_records_flops(self, sim):
+        """Regression: SimCluster.compute used to drop its flops arg."""
+        sim.compute(0.004, "tower module", flops=12_345)
+        event = sim.timeline.events[-1]
+        assert event.flops == 12_345
+        assert sim.timeline.total_flops(Phase.COMPUTE) == 12_345
+        assert sim.timeline.total_flops() == 12_345
+
     def test_alltoall_single(self, sim):
         out = sim.alltoall_single(
             sim.world,

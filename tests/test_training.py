@@ -150,6 +150,16 @@ class TestTrainerLoop:
         with pytest.raises(ValueError):
             TrainConfig(dense_optimizer="rmsprop")
 
+    def test_evaluate_empty_set_raises_clearly(self):
+        """Regression: an empty eval set used to die inside
+        np.concatenate with an opaque message."""
+        trainer = self.make_trainer()
+        empty_dense = np.zeros((0, 13))
+        empty_ids = np.zeros((0, 8), dtype=np.int64)
+        empty_labels = np.zeros(0)
+        with pytest.raises(ValueError, match="empty eval set"):
+            trainer.evaluate(empty_dense, empty_ids, empty_labels)
+
 
 class TestStats:
     def test_seed_sweep_summary(self):
