@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Sparse-path benchmark emitter: dense vs rowwise embedding gradients.
+
+Times the single-process train step (forward / backward / optimizer
+phases, separately and end-to-end) of a DLRM under both
+``sparse_grad_mode`` settings and writes a ``BENCH_sparse_path.json``
+record — steps/sec and peak transient bytes allocated per step — so
+perf PRs leave a measured trajectory instead of claims.
+
+Default (paper-ish) config is the acceptance geometry: 26 tables x
+1M rows x dim 128 at batch 256 (the dense reference rewrites ~26 GB of
+optimizer state per step at this size, so it runs very few steps).
+``--fast`` shrinks everything for CI smoke.
+
+Run:  PYTHONPATH=src python benchmarks/run_bench.py [--fast] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+import tracemalloc
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.data import random_batch
+from repro.models import DLRM
+from repro.models.configs import DenseArch
+from repro.nn import TableConfig
+from repro.training import TrainConfig, Trainer
+
+BENCH_VERSION = 1
+
+
+def build_trainer(args, mode: str) -> Trainer:
+    tables = [
+        TableConfig(f"t{i}", args.rows, args.dim, pooling=args.pooling)
+        for i in range(args.tables)
+    ]
+    arch = DenseArch(
+        embedding_dim=args.dim,
+        bottom_mlp=(64, args.dim),
+        top_mlp=(64,),
+    )
+    model = DLRM(13, tables, arch, rng=np.random.default_rng(0))
+    return Trainer(
+        model,
+        TrainConfig(
+            batch_size=args.batch, sparse_grad_mode=mode, seed=0
+        ),
+    )
+
+
+def bench_mode(args, mode: str) -> dict:
+    """Measure one mode; returns per-phase seconds and peak step bytes."""
+    trainer = build_trainer(args, mode)
+    loss_mod = trainer.loss_module
+    rng = np.random.default_rng(1)
+    batches = [
+        random_batch(
+            args.batch, 13, args.tables, args.rows,
+            pooling=args.pooling, rng=rng,
+        )
+        for _ in range(max(args.warmup, args.steps))
+    ]
+
+    def one_step(batch, timings=None):
+        dense_x, ids, labels = batch
+        trainer.dense_opt.zero_grad()
+        trainer.sparse_opt.zero_grad()
+        t0 = time.perf_counter()
+        logits = trainer.model(dense_x, ids)
+        loss_mod(logits, labels)
+        t1 = time.perf_counter()
+        trainer.model.backward(loss_mod.backward())
+        t2 = time.perf_counter()
+        trainer.dense_opt.step()
+        trainer.sparse_opt.step()
+        t3 = time.perf_counter()
+        if timings is not None:
+            timings["forward"].append(t1 - t0)
+            timings["backward"].append(t2 - t1)
+            timings["optimizer"].append(t3 - t2)
+            timings["step"].append(t3 - t0)
+
+    for i in range(args.warmup):
+        one_step(batches[i])
+
+    timings = {"forward": [], "backward": [], "optimizer": [], "step": []}
+    tracemalloc.start(1)
+    peak_step_bytes = 0
+    for i in range(args.steps):
+        tracemalloc.reset_peak()
+        before, _ = tracemalloc.get_traced_memory()
+        one_step(batches[i], timings)
+        _, peak = tracemalloc.get_traced_memory()
+        peak_step_bytes = max(peak_step_bytes, peak - before)
+    tracemalloc.stop()
+
+    sec_per_step = float(np.mean(timings["step"]))
+    return {
+        "mode": mode,
+        "steps_measured": args.steps,
+        "sec_per_step": sec_per_step,
+        "steps_per_sec": 1.0 / sec_per_step,
+        "peak_step_bytes": int(peak_step_bytes),
+        "phase_sec": {
+            k: float(np.mean(v))
+            for k, v in timings.items()
+            if k != "step"
+        },
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke geometry (seconds, not minutes)")
+    parser.add_argument("--tables", type=int, default=None)
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=256)
+    parser.add_argument("--pooling", type=int, default=1)
+    parser.add_argument("--steps", type=int, default=None,
+                        help="measured steps (per mode)")
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--out", default="BENCH_sparse_path.json")
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)
+    else:
+        # Acceptance geometry; dense rewrites the full ~26 GB optimizer
+        # state each step, so one warmed-up step is all we can afford.
+        defaults = dict(tables=26, rows=1_000_000, dim=128, steps=1, warmup=1)
+    for key, value in defaults.items():
+        if getattr(args, key) is None:
+            setattr(args, key, value)
+
+    results = {}
+    for mode in ("rowwise", "dense"):
+        print(f"benchmarking sparse_grad_mode={mode} "
+              f"({args.tables} tables x {args.rows} rows x {args.dim} dim, "
+              f"batch {args.batch}) ...", flush=True)
+        results[mode] = bench_mode(args, mode)
+        print(f"  {results[mode]['sec_per_step']:.4f} s/step, "
+              f"peak {results[mode]['peak_step_bytes'] / 1e6:.1f} MB/step",
+              flush=True)
+
+    record = {
+        "bench": "sparse_path",
+        "version": BENCH_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "tables": args.tables,
+            "rows": args.rows,
+            "dim": args.dim,
+            "batch": args.batch,
+            "pooling": args.pooling,
+            "fast": bool(args.fast),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+        "speedup_rowwise_over_dense": (
+            results["dense"]["sec_per_step"]
+            / results["rowwise"]["sec_per_step"]
+        ),
+        "memory_ratio_dense_over_rowwise": (
+            results["dense"]["peak_step_bytes"]
+            / max(results["rowwise"]["peak_step_bytes"], 1)
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"speedup (rowwise over dense): "
+          f"{record['speedup_rowwise_over_dense']:.1f}x -> wrote {args.out}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -50,7 +50,7 @@ from repro.data import (
 from repro.hardware import Cluster
 from repro.models import DCN, DLRM, DMTDCN, DMTDLRM, criteo_table_configs, tiny_table_configs
 from repro.models.configs import DenseArch
-from repro.nn import Adam, BCEWithLogitsLoss
+from repro.nn import Adam, BCEWithLogitsLoss, set_sparse_grad_mode
 from repro.partitioner import TowerPartitioner, interaction_from_activations
 from repro.perf.iteration_model import IterationLatencyModel
 from repro.perf.profiles import baseline_profile, dmt_profile_for_towers
@@ -357,6 +357,7 @@ class Session:
                 dense_lr=train.dense_lr,
                 sparse_lr=train.sparse_lr,
                 dense_optimizer=train.dense_optimizer,
+                sparse_grad_mode=train.sparse_grad_mode,
                 warmup_steps=train.warmup_steps,
                 seed=train.seed,
             ),
@@ -376,9 +377,16 @@ class Session:
         dataset = _dataset_for(self._need("data"))
         sim = SimCluster(self.build_cluster())
         dist_model = self.build_model()
+        # The SPTT exchange scatter-adds into the shared tables; the
+        # spec knob decides whether that lands as compact row-wise
+        # gradients (densified only at the Adam step below) or as the
+        # dense reference.  Either way the update math is identical.
+        set_sparse_grad_mode(dist_model, train.sparse_grad_mode)
         dmt_trainer = DistributedDMTTrainer(sim, dist_model)
         opts = [Adam(dist_model.parameters(), lr=train.dense_lr)]
         ref_model = self._make_model() if train.verify else None
+        if ref_model is not None:
+            set_sparse_grad_mode(ref_model, train.sparse_grad_mode)
         ref_opt = (
             Adam(ref_model.parameters(), lr=train.dense_lr)
             if ref_model is not None

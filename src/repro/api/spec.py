@@ -368,6 +368,10 @@ class TrainSpec(_SpecBase):
     dense_lr: float = 1e-3
     sparse_lr: float = 0.03
     dense_optimizer: str = "adam"
+    #: Embedding gradient path, honored in both modes: "rowwise"
+    #: carries compact touched-row gradients (the fast path), "dense"
+    #: is the table-sized reference.  Numerically equivalent.
+    sparse_grad_mode: str = "rowwise"
     warmup_steps: int = 0
     seed: int = 0
     # simulated-mode knobs
@@ -388,6 +392,11 @@ class TrainSpec(_SpecBase):
         _require(
             self.dense_optimizer in ("adam", "sgd"),
             f"unknown dense optimizer {self.dense_optimizer!r}",
+        )
+        _require(
+            self.sparse_grad_mode in ("rowwise", "dense"),
+            f"sparse_grad_mode must be 'rowwise' or 'dense', "
+            f"got {self.sparse_grad_mode!r}",
         )
         _require(self.warmup_steps >= 0, "warmup_steps must be >= 0")
         _require(self.steps >= 1, "steps must be >= 1")

@@ -228,7 +228,10 @@ class DistributedDMTTrainer:
             canonical = list(tower.parameters())
             for r in sim.cluster.ranks_on_host(t):
                 for p_c, p_r in zip(canonical, self.replicas[r].parameters()):
-                    if p_r.grad is not None:
+                    # Tower modules are dense MLPs, but route through
+                    # has_grad so a sparse replica grad would densify
+                    # instead of being silently dropped.
+                    if p_r.has_grad:
                         p_c.add_grad(p_r.grad)
                         p_r.zero_grad()
             tm_bytes = max(tm_bytes, _dense_param_bytes(canonical))

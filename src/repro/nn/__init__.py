@@ -18,10 +18,16 @@ from repro.nn.module import Module, Parameter
 from repro.nn.init import xavier_uniform, normal_init, uniform_embedding_init
 from repro.nn.layers import Identity, Linear, ReLU, Sequential, Sigmoid
 from repro.nn.mlp import MLP
-from repro.nn.embedding import EmbeddingBagCollection, EmbeddingTable, TableConfig
+from repro.nn.embedding import (
+    EmbeddingBagCollection,
+    EmbeddingTable,
+    TableConfig,
+    set_sparse_grad_mode,
+)
+from repro.nn.sparse import RowwiseGrad
 from repro.nn.interactions import CrossNet, DotInteraction
 from repro.nn.loss import BCEWithLogitsLoss
-from repro.nn.optim import SGD, Adagrad, Adam, Optimizer
+from repro.nn.optim import SGD, Adagrad, Adam, Optimizer, RowwiseAdagrad
 from repro.nn import functional
 
 __all__ = [
@@ -36,6 +42,8 @@ __all__ = [
     "EmbeddingTable",
     "EmbeddingBagCollection",
     "TableConfig",
+    "RowwiseGrad",
+    "set_sparse_grad_mode",
     "DotInteraction",
     "CrossNet",
     "BCEWithLogitsLoss",
@@ -43,6 +51,7 @@ __all__ = [
     "SGD",
     "Adam",
     "Adagrad",
+    "RowwiseAdagrad",
     "xavier_uniform",
     "normal_init",
     "uniform_embedding_init",

@@ -5,6 +5,21 @@ sum pooling over the hotness axis; an :class:`EmbeddingBagCollection`
 owns one table per sparse feature — the unsharded counterpart of the
 model-parallel layout that :mod:`repro.core` distributes across ranks.
 
+The collection is *fused*: all tables (which share ``dim``) live in one
+stacked ``(sum(rows), dim)`` matrix with per-feature row offsets, so a
+collection lookup is a single gather and a collection backward is a
+single ordered segment-sum — no Python loop over F tables on the hot
+path.  Each table's :class:`~repro.nn.module.Parameter` is a row-slice
+view into the stacked matrix, so parameter names, sharding plans, and
+per-table use by the distributed exchanges are unchanged.
+
+Gradients default to the compact row-wise representation
+(:class:`~repro.nn.sparse.RowwiseGrad`): a batch touches at most
+``B * pooling`` rows, and materializing the table-sized dense gradient
+is exactly the memory-bound waste the paper's embedding plane must
+avoid.  ``sparse_grad_mode="dense"`` keeps the original dense
+scatter-add as the reference implementation.
+
 Lookup is modeled as memory traffic, not flops (the paper's
 MFlops/sample numbers cover the dense arch); ``bytes_per_sample`` feeds
 the iteration latency model's HBM term.
@@ -19,6 +34,21 @@ import numpy as np
 
 from repro.nn.init import uniform_embedding_init
 from repro.nn.module import Module, Parameter
+from repro.nn.sparse import RowwiseGrad
+
+#: Valid values of the ``sparse_grad_mode`` knob.
+SPARSE_GRAD_MODES = ("rowwise", "dense")
+
+
+def _check_ids_in_range(ids: np.ndarray, limit: int, name: str) -> None:
+    """Single-pass bounds check of integer ids against ``[0, limit)``.
+
+    Casting to unsigned folds the two comparisons (``< 0`` and
+    ``>= limit``) into one: negative ids wrap to huge values, so one
+    ``>= limit`` scan catches both ends.
+    """
+    if (ids.astype(np.uint64, copy=False) >= np.uint64(limit)).any():
+        raise IndexError(f"ids out of range [0, {limit}) for table {name}")
 
 
 @dataclass(frozen=True)
@@ -65,19 +95,33 @@ class EmbeddingTable(Module):
     """One sum-pooled embedding bag.
 
     Input ids have shape (B,) or (B, pooling); output is (B, dim).
+
+    ``weight`` may be supplied by a fused collection (a row-slice view
+    into the stacked matrix); standalone tables allocate and initialize
+    their own.
     """
 
     def __init__(
         self,
         config: TableConfig,
         rng: Optional[np.random.Generator] = None,
+        weight: Optional[Parameter] = None,
     ):
-        rng = rng or np.random.default_rng(0)
         self.config = config
-        self.weight = Parameter(
-            uniform_embedding_init(rng, config.num_embeddings, config.dim),
-            name=f"emb.{config.name}",
-        )
+        if weight is not None:
+            if weight.shape != (config.num_embeddings, config.dim):
+                raise ValueError(
+                    f"supplied weight shape {weight.shape} != "
+                    f"({config.num_embeddings}, {config.dim})"
+                )
+            self.weight = weight
+        else:
+            rng = rng or np.random.default_rng(0)
+            self.weight = Parameter(
+                uniform_embedding_init(rng, config.num_embeddings, config.dim),
+                name=f"emb.{config.name}",
+            )
+        self.sparse_grad_mode = "rowwise"
         self._ids: Optional[np.ndarray] = None
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
@@ -86,19 +130,18 @@ class EmbeddingTable(Module):
             ids = ids[:, None]
         if ids.ndim != 2:
             raise ValueError(f"ids must be (B,) or (B, pooling), got {ids.shape}")
-        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.config.num_embeddings:
-            raise IndexError(
-                f"ids out of range [0, {self.config.num_embeddings}) for table "
-                f"{self.config.name}"
-            )
+        _check_ids_in_range(ids, self.config.num_embeddings, self.config.name)
         self._ids = ids
         # (B, P, N) gather then sum-pool over P.
         return self.weight.data[ids].sum(axis=1)
 
     def backward(self, grad_output: np.ndarray) -> None:
-        """Scatter-add pooled gradients into the table rows.
+        """Route pooled gradients into the table rows.
 
-        Returns None: ids are integers, there is no upstream gradient.
+        Row-wise mode (default) compacts to the touched rows without
+        ever materializing the (num_embeddings, dim) array; dense mode
+        is the original scatter-add reference.  Returns None: ids are
+        integers, there is no upstream gradient.
         """
         if self._ids is None:
             raise RuntimeError("backward called before forward")
@@ -108,6 +151,11 @@ class EmbeddingTable(Module):
             raise ValueError(
                 f"grad shape {grad_output.shape} != ({B}, {self.config.dim})"
             )
+        if self.sparse_grad_mode == "rowwise":
+            self.weight.add_row_grad(
+                RowwiseGrad.from_pooled(self._ids, grad_output)
+            )
+            return
         grad_table = np.zeros_like(self.weight.data)
         # Sum pooling: every pooled id receives the full output gradient.
         flat_ids = self._ids.reshape(-1)
@@ -127,7 +175,9 @@ class EmbeddingBagCollection(Module):
     Input ids: (B, F) single-hot or (B, F, P) multi-hot (uniform P);
     output: (B, F, N).  All tables must share ``dim`` — the paper's
     models use a uniform N so embeddings stack into one dense tensor
-    for the interaction arch.
+    for the interaction arch — which is also what lets the collection
+    fuse every table into one weight matrix with per-feature row
+    offsets (a single gather forward, a single segment-sum backward).
     """
 
     def __init__(
@@ -145,7 +195,29 @@ class EmbeddingBagCollection(Module):
             raise ValueError(f"duplicate table names: {names}")
         rng = rng or np.random.default_rng(0)
         self.configs = list(configs)
-        self.tables = [EmbeddingTable(c, rng=rng) for c in configs]
+
+        # Fused storage: one stacked matrix; table f owns rows
+        # [offset[f], offset[f] + cardinality[f]).  Per-table blocks
+        # are initialized in table order with the shared rng — the same
+        # draw sequence as independently allocated tables.
+        cards = np.array([c.num_embeddings for c in configs], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(cards)[:-1]))
+        stacked = np.empty((int(cards.sum()), configs[0].dim))
+        tables = []
+        for c, off in zip(configs, offsets):
+            block = stacked[off : off + c.num_embeddings]
+            block[:] = uniform_embedding_init(rng, c.num_embeddings, c.dim)
+            tables.append(
+                EmbeddingTable(
+                    c, weight=Parameter(block, name=f"emb.{c.name}")
+                )
+            )
+        self.tables = tables
+        self._stacked = stacked
+        self._offsets = offsets
+        self._cards = cards
+        self.sparse_grad_mode = "rowwise"
+        self._rows: Optional[np.ndarray] = None
 
     @property
     def num_features(self) -> int:
@@ -155,7 +227,21 @@ class EmbeddingBagCollection(Module):
     def dim(self) -> int:
         return self.configs[0].dim
 
-    def forward(self, ids: np.ndarray) -> np.ndarray:
+    @property
+    def total_rows(self) -> int:
+        return self._stacked.shape[0]
+
+    def set_sparse_grad_mode(self, mode: str) -> None:
+        if mode not in SPARSE_GRAD_MODES:
+            raise ValueError(
+                f"sparse_grad_mode must be one of {SPARSE_GRAD_MODES}, "
+                f"got {mode!r}"
+            )
+        self.sparse_grad_mode = mode
+        for table in self.tables:
+            table.sparse_grad_mode = mode
+
+    def _normalize_ids(self, ids: np.ndarray) -> np.ndarray:
         ids = np.asarray(ids)
         if ids.ndim == 2:
             ids = ids[:, :, None]
@@ -163,8 +249,35 @@ class EmbeddingBagCollection(Module):
             raise ValueError(
                 f"ids must be (B, {self.num_features}[, P]), got {ids.shape}"
             )
-        outs = [table(ids[:, f]) for f, table in enumerate(self.tables)]
-        return np.stack(outs, axis=1)
+        return ids
+
+    def _fused_intact(self) -> bool:
+        """True while every table parameter still aliases the stacked
+        matrix.  External code may temporarily rebind ``weight.data``
+        (numeric gradient checks do); the collection then falls back to
+        the per-table path until the alias is restored."""
+        return all(t.weight.data.base is self._stacked for t in self.tables)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = self._normalize_ids(ids)
+        if not self._fused_intact():
+            self._rows = None
+            outs = [table(ids[:, f]) for f, table in enumerate(self.tables)]
+            return np.stack(outs, axis=1)
+        # One fused validation against the stacked cardinalities (no
+        # per-table scans), then one gather over the stacked matrix.
+        bounds = self._cards.astype(np.uint64)[None, :, None]
+        if (ids.astype(np.uint64, copy=False) >= bounds).any():
+            bad = np.argwhere(ids.astype(np.uint64) >= bounds)[0]
+            f = int(bad[1])
+            raise IndexError(
+                f"ids out of range [0, {int(self._cards[f])}) for table "
+                f"{self.configs[f].name}"
+            )
+        rows = ids + self._offsets[None, :, None]
+        self._rows = rows
+        # (B, F, P, N) gather then sum-pool over P.
+        return self._stacked[rows].sum(axis=2)
 
     def backward(self, grad_output: np.ndarray) -> None:
         grad_output = np.asarray(grad_output, dtype=np.float64)
@@ -172,11 +285,59 @@ class EmbeddingBagCollection(Module):
             raise ValueError(
                 f"grad must be (B, {self.num_features}, N), got {grad_output.shape}"
             )
+        if self._rows is None:
+            # Forward ran on the per-table fallback path (see
+            # _fused_intact); route gradients per table too.
+            for f, table in enumerate(self.tables):
+                table.backward(grad_output[:, f])
+            return
+        B, F, P = self._rows.shape
+        if grad_output.shape[0] != B:
+            raise ValueError(
+                f"grad batch {grad_output.shape[0]} != forward batch {B}"
+            )
+        # One ordered segment-sum over the stacked row space ...
+        uniq, inverse = np.unique(self._rows.reshape(-1), return_inverse=True)
+        seg = np.zeros((uniq.shape[0], self.dim))
+        np.add.at(
+            seg, inverse.reshape(B, F, P), grad_output[:, :, None, :]
+        )
+        # ... then split at table boundaries (uniq is sorted, so each
+        # table's rows form one contiguous slice — O(F) bookkeeping).
+        starts = np.searchsorted(uniq, self._offsets)
+        ends = np.searchsorted(uniq, self._offsets + self._cards)
         for f, table in enumerate(self.tables):
-            table.backward(grad_output[:, f])
+            s, e = int(starts[f]), int(ends[f])
+            if s == e:
+                continue
+            row_grad = RowwiseGrad(
+                rows=uniq[s:e] - self._offsets[f], grads=seg[s:e]
+            )
+            if self.sparse_grad_mode == "rowwise":
+                table.weight.add_row_grad(row_grad)
+            else:
+                table.weight.add_grad(row_grad.to_dense(table.weight.shape))
 
     def bytes_per_sample(self, itemsize: int = 4) -> int:
         return sum(t.bytes_per_sample(itemsize) for t in self.tables)
 
     def flops_per_sample(self) -> int:
         return 0
+
+
+def set_sparse_grad_mode(module: Module, mode: str) -> None:
+    """Set the gradient representation on every embedding in a model.
+
+    Walks the module tree and flips each :class:`EmbeddingBagCollection`
+    (and standalone :class:`EmbeddingTable`) to ``mode``; the trainer
+    calls this once from its config knob.
+    """
+    if mode not in SPARSE_GRAD_MODES:
+        raise ValueError(
+            f"sparse_grad_mode must be one of {SPARSE_GRAD_MODES}, got {mode!r}"
+        )
+    for m in module.modules():
+        if isinstance(m, EmbeddingBagCollection):
+            m.set_sparse_grad_mode(mode)
+        elif isinstance(m, EmbeddingTable):
+            m.sparse_grad_mode = mode

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.nn.sparse import RowwiseGrad
 
 
 class Parameter:
@@ -12,13 +15,21 @@ class Parameter:
 
     Gradients accumulate across ``backward`` calls (PyTorch semantics);
     optimizers read ``grad`` and the trainer zeroes it between steps.
+
+    Embedding tables may instead accumulate a compact
+    :class:`~repro.nn.sparse.RowwiseGrad` in ``row_grad`` (unique
+    touched rows + per-row sums).  Sparse-aware optimizers consume
+    ``row_grad`` directly and never pay for the full table; everything
+    else keeps working unchanged because reading ``grad`` transparently
+    densifies any pending row-wise gradient first.
     """
 
-    __slots__ = ("data", "grad", "name")
+    __slots__ = ("data", "_grad", "row_grad", "name")
 
     def __init__(self, data: np.ndarray, name: str = "param"):
         self.data = np.ascontiguousarray(data, dtype=np.float64)
-        self.grad: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
+        self.row_grad: Optional["RowwiseGrad"] = None
         self.name = name
 
     @property
@@ -29,8 +40,40 @@ class Parameter:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        """Dense gradient view; densifies a pending row-wise gradient.
+
+        The densification is the compatibility escape hatch for dense
+        consumers (Adam on a whole model, tests poking ``weight.grad``);
+        hot paths that care use ``row_grad`` / :meth:`has_grad` and
+        never trigger it.
+        """
+        self._flush_row_grad()
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        self._grad = value
+        self.row_grad = None
+
+    def _flush_row_grad(self) -> None:
+        if self.row_grad is None:
+            return
+        if self._grad is None:
+            self._grad = self.row_grad.to_dense(self.data.shape)
+        else:
+            self.row_grad.scatter_into(self._grad)
+        self.row_grad = None
+
+    @property
+    def has_grad(self) -> bool:
+        """True when any gradient (dense or row-wise) is pending."""
+        return self._grad is not None or self.row_grad is not None
+
     def zero_grad(self) -> None:
-        self.grad = None
+        self._grad = None
+        self.row_grad = None
 
     def add_grad(self, grad: np.ndarray) -> None:
         if grad.shape != self.data.shape:
@@ -38,10 +81,30 @@ class Parameter:
                 f"gradient shape {grad.shape} does not match parameter "
                 f"{self.name} shape {self.data.shape}"
             )
-        if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+        self._flush_row_grad()
+        if self._grad is None:
+            self._grad = grad.astype(np.float64, copy=True)
         else:
-            self.grad += grad
+            self._grad += grad
+
+    def add_row_grad(self, row_grad: "RowwiseGrad") -> None:
+        """Accumulate a compacted row-wise gradient.
+
+        Mirrors :meth:`add_grad` semantics: merges with whatever is
+        already pending (row-wise with row-wise stays compact; into an
+        existing dense gradient it scatter-adds).
+        """
+        if row_grad.dim != self.data.shape[-1]:
+            raise ValueError(
+                f"row gradient dim {row_grad.dim} does not match parameter "
+                f"{self.name} shape {self.data.shape}"
+            )
+        if self._grad is not None:
+            row_grad.scatter_into(self._grad)
+        elif self.row_grad is None:
+            self.row_grad = row_grad
+        else:
+            self.row_grad = self.row_grad.merge(row_grad)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Parameter({self.name}, shape={self.data.shape})"
@@ -141,4 +204,7 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{state[name].shape} vs {p.data.shape}"
                 )
-            p.data = state[name].astype(np.float64, copy=True)
+            # In-place copy (not rebinding): fused embedding collections
+            # alias per-table parameters into one stacked matrix, and
+            # loading state must not sever that aliasing.
+            np.copyto(p.data, state[name])

@@ -15,20 +15,37 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.data.loader import BatchIterator
+from repro.nn.embedding import SPARSE_GRAD_MODES, set_sparse_grad_mode
 from repro.nn.loss import BCEWithLogitsLoss
-from repro.nn.optim import Adagrad, Adam, Optimizer, SGD, WarmupDecaySchedule
+from repro.nn.optim import (
+    Adagrad,
+    Adam,
+    Optimizer,
+    RowwiseAdagrad,
+    SGD,
+    WarmupDecaySchedule,
+)
 from repro.training.metrics import auc, log_loss, normalized_entropy
 
 
 @dataclass(frozen=True)
 class TrainConfig:
-    """Hyperparameters for one training run."""
+    """Hyperparameters for one training run.
+
+    ``sparse_grad_mode`` selects the embedding-plane gradient path:
+    ``"rowwise"`` (default) carries compact touched-row gradients into
+    :class:`~repro.nn.optim.RowwiseAdagrad`; ``"dense"`` is the
+    original table-sized scatter-add + dense Adagrad reference.  The
+    two are numerically equivalent (same accumulator arithmetic, same
+    summation order); only the cost differs.
+    """
 
     batch_size: int = 256
     epochs: int = 1
     dense_lr: float = 1e-3
     sparse_lr: float = 0.03
     dense_optimizer: str = "adam"  # "adam" | "sgd"
+    sparse_grad_mode: str = "rowwise"  # "rowwise" | "dense"
     warmup_steps: int = 0
     seed: int = 0
 
@@ -40,6 +57,11 @@ class TrainConfig:
         if self.dense_optimizer not in ("adam", "sgd"):
             raise ValueError(
                 f"unknown dense optimizer {self.dense_optimizer!r}"
+            )
+        if self.sparse_grad_mode not in SPARSE_GRAD_MODES:
+            raise ValueError(
+                f"sparse_grad_mode must be one of {SPARSE_GRAD_MODES}, "
+                f"got {self.sparse_grad_mode!r}"
             )
 
 
@@ -79,9 +101,15 @@ class Trainer:
             self.dense_opt: Optimizer = Adam(dense_params, lr=config.dense_lr)
         else:
             self.dense_opt = SGD(dense_params, lr=config.dense_lr)
-        self.sparse_opt = Adagrad(
-            model.sparse_parameters(), lr=config.sparse_lr
-        )
+        set_sparse_grad_mode(model, config.sparse_grad_mode)
+        if config.sparse_grad_mode == "rowwise":
+            self.sparse_opt: Optimizer = RowwiseAdagrad(
+                model.sparse_parameters(), lr=config.sparse_lr
+            )
+        else:
+            self.sparse_opt = Adagrad(
+                model.sparse_parameters(), lr=config.sparse_lr
+            )
         self.schedule = (
             WarmupDecaySchedule(config.dense_lr, config.warmup_steps)
             if config.warmup_steps > 0
@@ -152,12 +180,12 @@ class Trainer:
                 "cannot evaluate on an empty eval set; check the "
                 "eval_fraction / split producing these arrays"
             )
-        logits = np.concatenate(
-            [
-                self.model(dense[i : i + batch_size], ids[i : i + batch_size])
-                for i in range(0, len(labels), batch_size)
-            ]
-        )
+        # Preallocate and fill in place (no per-batch list + concat copy).
+        logits = np.empty(len(labels))
+        for i in range(0, len(labels), batch_size):
+            logits[i : i + batch_size] = self.model(
+                dense[i : i + batch_size], ids[i : i + batch_size]
+            )
         return EvalResult(
             auc=auc(labels, logits),
             log_loss=log_loss(labels, logits),

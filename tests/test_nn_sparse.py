@@ -1,0 +1,349 @@
+"""Tests for the row-wise sparse gradient path.
+
+Covers the compact :class:`RowwiseGrad` representation, the Parameter
+dense/row-wise gradient plumbing, :class:`RowwiseAdagrad`, the fused
+embedding collection internals, and the ``WarmupDecaySchedule``
+``decay_start=0`` regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adagrad,
+    EmbeddingBagCollection,
+    EmbeddingTable,
+    Parameter,
+    RowwiseAdagrad,
+    RowwiseGrad,
+    TableConfig,
+    set_sparse_grad_mode,
+)
+from repro.nn.optim import WarmupDecaySchedule
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestRowwiseGrad:
+    def test_from_pooled_compacts_duplicates(self):
+        ids = np.array([[1, 4], [4, 4], [2, 1]])
+        grad = np.arange(6, dtype=float).reshape(3, 2)
+        rg = RowwiseGrad.from_pooled(ids, grad)
+        np.testing.assert_array_equal(rg.rows, [1, 2, 4])
+        # Row 1: samples 0 and 2; row 4: sample 0 once + sample 1 twice.
+        np.testing.assert_allclose(rg.grads[0], grad[0] + grad[2])
+        np.testing.assert_allclose(rg.grads[1], grad[2])
+        np.testing.assert_allclose(rg.grads[2], grad[0] + 2 * grad[1])
+
+    def test_to_dense_round_trip(self, rng):
+        ids = rng.integers(0, 50, size=(8, 3))
+        grad = rng.standard_normal((8, 4))
+        rg = RowwiseGrad.from_pooled(ids, grad)
+        dense = np.zeros((50, 4))
+        np.add.at(dense, ids.reshape(-1), np.repeat(grad, 3, axis=0))
+        np.testing.assert_array_equal(rg.to_dense((50, 4)), dense)
+
+    def test_to_dense_validates(self):
+        rg = RowwiseGrad(rows=np.array([7]), grads=np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            rg.to_dense((4, 4))  # row 7 out of range
+        with pytest.raises(ValueError):
+            rg.to_dense((10, 8))  # dim mismatch
+
+    def test_merge_is_row_union_sum(self, rng):
+        a = RowwiseGrad(rows=np.array([1, 5]), grads=rng.standard_normal((2, 3)))
+        b = RowwiseGrad(rows=np.array([5, 9]), grads=rng.standard_normal((2, 3)))
+        m = a.merge(b)
+        np.testing.assert_array_equal(m.rows, [1, 5, 9])
+        np.testing.assert_array_equal(
+            m.to_dense((10, 3)), a.to_dense((10, 3)) + b.to_dense((10, 3))
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RowwiseGrad(rows=np.zeros((2, 2)), grads=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            RowwiseGrad(rows=np.array([0, 1, 2]), grads=np.zeros((2, 3)))
+
+    def test_nbytes_is_compact(self):
+        rg = RowwiseGrad(rows=np.arange(4), grads=np.zeros((4, 8)))
+        assert rg.nbytes == 4 * 8 + 4 * 8 * 8
+
+
+class TestParameterRowGrad:
+    def test_grad_property_densifies(self):
+        p = Parameter(np.zeros((10, 2)))
+        p.add_row_grad(RowwiseGrad(rows=np.array([3]), grads=np.ones((1, 2))))
+        assert p.has_grad
+        g = p.grad
+        assert g.shape == (10, 2)
+        assert g[3, 0] == 1.0 and g[0, 0] == 0.0
+        assert p.row_grad is None  # consumed by densification
+
+    def test_row_plus_row_stays_compact(self):
+        p = Parameter(np.zeros((10, 2)))
+        p.add_row_grad(RowwiseGrad(rows=np.array([3]), grads=np.ones((1, 2))))
+        p.add_row_grad(RowwiseGrad(rows=np.array([3, 5]), grads=np.ones((2, 2))))
+        assert p.row_grad is not None and p.row_grad.num_rows == 2
+        np.testing.assert_allclose(p.grad[3], 2.0)
+
+    def test_row_into_dense_scatter_adds(self):
+        p = Parameter(np.zeros((4, 2)))
+        p.add_grad(np.ones((4, 2)))
+        p.add_row_grad(RowwiseGrad(rows=np.array([2]), grads=np.ones((1, 2))))
+        np.testing.assert_allclose(p.grad[2], 2.0)
+        np.testing.assert_allclose(p.grad[0], 1.0)
+
+    def test_dense_after_row_densifies_first(self):
+        p = Parameter(np.zeros((4, 2)))
+        p.add_row_grad(RowwiseGrad(rows=np.array([1]), grads=np.ones((1, 2))))
+        p.add_grad(np.ones((4, 2)))
+        np.testing.assert_allclose(p.grad[1], 2.0)
+
+    def test_zero_grad_clears_both(self):
+        p = Parameter(np.zeros((4, 2)))
+        p.add_row_grad(RowwiseGrad(rows=np.array([1]), grads=np.ones((1, 2))))
+        p.zero_grad()
+        assert not p.has_grad and p.grad is None
+
+    def test_grad_setter_clears_row_grad(self):
+        p = Parameter(np.zeros((4, 2)))
+        p.add_row_grad(RowwiseGrad(rows=np.array([1]), grads=np.ones((1, 2))))
+        p.grad = np.zeros((4, 2))
+        np.testing.assert_allclose(p.grad, 0.0)
+
+    def test_dim_mismatch_rejected(self):
+        p = Parameter(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            p.add_row_grad(RowwiseGrad(rows=np.array([1]), grads=np.ones((1, 3))))
+
+
+class TestRowwiseAdagrad:
+    def _pair(self, rows=32, dim=4, seed=5):
+        rng = np.random.default_rng(seed)
+        init = rng.standard_normal((rows, dim))
+        return Parameter(init.copy()), Parameter(init.copy())
+
+    def test_elementwise_matches_dense_adagrad_bitwise(self, rng):
+        p_dense, p_row = self._pair()
+        opt_dense = Adagrad([p_dense], lr=0.1)
+        opt_row = RowwiseAdagrad([p_row], lr=0.1)
+        for step in range(5):
+            ids = rng.integers(0, 32, size=(6, 2))
+            grad = rng.standard_normal((6, 4))
+            dense = np.zeros((32, 4))
+            np.add.at(dense, ids.reshape(-1), np.repeat(grad, 2, axis=0))
+            p_dense.zero_grad()
+            p_dense.add_grad(dense)
+            p_row.zero_grad()
+            p_row.add_row_grad(RowwiseGrad.from_pooled(ids, grad))
+            opt_dense.step()
+            opt_row.step()
+            np.testing.assert_array_equal(p_dense.data, p_row.data)
+        np.testing.assert_array_equal(opt_dense._accum[0], opt_row._accum[0])
+
+    def test_scalar_accumulator_state_is_per_row(self, rng):
+        p, _ = self._pair()
+        opt = RowwiseAdagrad([p], lr=0.1, accumulator="scalar")
+        p.add_row_grad(
+            RowwiseGrad(rows=np.array([2, 7]), grads=rng.standard_normal((2, 4)))
+        )
+        opt.step()
+        assert opt._accum[0].shape == (32,)
+        assert opt._accum[0][2] > 0 and opt._accum[0][0] == 0
+
+    def test_scalar_dense_fallback_matches_sparse(self, rng):
+        p_a, p_b = self._pair()
+        opt_a = RowwiseAdagrad([p_a], lr=0.1, accumulator="scalar")
+        opt_b = RowwiseAdagrad([p_b], lr=0.1, accumulator="scalar")
+        rg = RowwiseGrad(
+            rows=np.arange(32), grads=rng.standard_normal((32, 4))
+        )
+        p_a.add_row_grad(rg)
+        p_b.add_grad(rg.to_dense((32, 4)))
+        opt_a.step()
+        opt_b.step()
+        np.testing.assert_allclose(p_a.data, p_b.data, atol=1e-15)
+
+    def test_untouched_rows_never_move(self, rng):
+        p, _ = self._pair()
+        before = p.data.copy()
+        opt = RowwiseAdagrad([p], lr=0.5)
+        p.add_row_grad(
+            RowwiseGrad(rows=np.array([0]), grads=np.ones((1, 4)))
+        )
+        opt.step()
+        np.testing.assert_array_equal(p.data[1:], before[1:])
+        assert not np.array_equal(p.data[0], before[0])
+
+    def test_dense_fallback_matches_adagrad(self, rng):
+        p_a, p_b = self._pair()
+        g = rng.standard_normal((32, 4))
+        p_a.add_grad(g)
+        p_b.add_grad(g)
+        RowwiseAdagrad([p_a], lr=0.1).step()
+        Adagrad([p_b], lr=0.1).step()
+        np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_bad_accumulator_rejected(self):
+        with pytest.raises(ValueError, match="accumulator"):
+            RowwiseAdagrad([Parameter(np.zeros((2, 2)))], lr=0.1, accumulator="row")
+
+
+class TestFusedCollection:
+    def make_ebc(self, rng, F=3, dim=4):
+        configs = [TableConfig(f"f{i}", 8 + i, dim) for i in range(F)]
+        return EmbeddingBagCollection(configs, rng=rng)
+
+    def test_tables_alias_stacked_matrix(self, rng):
+        ebc = self.make_ebc(rng)
+        assert ebc.total_rows == 8 + 9 + 10
+        for t in ebc.tables:
+            assert t.weight.data.base is ebc._stacked
+
+    def test_fused_matches_per_table_forward(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = rng.integers(0, 8, size=(5, 3, 2))
+        fused = ebc(ids)
+        per_table = np.stack(
+            [ebc.tables[f](ids[:, f]) for f in range(3)], axis=1
+        )
+        np.testing.assert_array_equal(fused, per_table)
+
+    def test_fused_backward_emits_rowwise(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = rng.integers(0, 8, size=(4, 3))
+        ebc(ids)
+        ebc.backward(rng.standard_normal((4, 3, 4)))
+        for t in ebc.tables:
+            assert t.weight.row_grad is not None
+            assert t.weight.row_grad.num_rows <= 4
+
+    def test_dense_mode_emits_dense(self, rng):
+        ebc = self.make_ebc(rng)
+        ebc.set_sparse_grad_mode("dense")
+        ids = rng.integers(0, 8, size=(4, 3))
+        ebc(ids)
+        ebc.backward(rng.standard_normal((4, 3, 4)))
+        for t in ebc.tables:
+            assert t.weight.row_grad is None
+            assert t.weight.grad.shape == t.weight.shape
+
+    def test_rebound_weight_falls_back_and_recovers(self, rng):
+        """Temporarily rebinding weight.data (numeric grad checks do
+        this) must not read stale fused storage."""
+        ebc = self.make_ebc(rng)
+        ids = rng.integers(0, 8, size=(2, 3))
+        before = ebc(ids).copy()
+        old = ebc.tables[1].weight.data
+        try:
+            ebc.tables[1].weight.data = old + 1.0
+            bumped = ebc(ids)
+            np.testing.assert_allclose(bumped[:, 1], before[:, 1] + 1.0)
+            np.testing.assert_array_equal(bumped[:, 0], before[:, 0])
+            # Fallback backward routes per table.
+            ebc.backward(np.ones((2, 3, 4)))
+            assert ebc.tables[1].weight.has_grad
+        finally:
+            ebc.tables[1].weight.data = old
+        np.testing.assert_array_equal(ebc(ids), before)
+
+    def test_load_state_dict_preserves_aliasing(self, rng):
+        ebc = self.make_ebc(rng)
+        other = self.make_ebc(np.random.default_rng(99))
+        ebc.load_state_dict(other.state_dict())
+        for t, o in zip(ebc.tables, other.tables):
+            assert t.weight.data.base is ebc._stacked
+            np.testing.assert_array_equal(t.weight.data, o.weight.data)
+        # Fused forward sees the loaded values.
+        ids = np.ones((1, 3), dtype=int)
+        np.testing.assert_array_equal(ebc(ids), other(ids))
+
+    def test_fused_bounds_check_names_offending_table(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = np.zeros((2, 3), dtype=int)
+        ids[1, 1] = 9  # table f1 has 9 rows: id 9 out of range
+        with pytest.raises(IndexError, match="f1"):
+            ebc(ids)
+        ids[1, 1] = -1
+        with pytest.raises(IndexError, match="f1"):
+            ebc(ids)
+
+    def test_optimizer_step_writes_through_to_stacked(self, rng):
+        ebc = self.make_ebc(rng)
+        ids = np.ones((2, 3), dtype=int)
+        ebc(ids)
+        ebc.backward(np.ones((2, 3, 4)))
+        opt = RowwiseAdagrad([t.weight for t in ebc.tables], lr=0.1)
+        before = ebc._stacked.copy()
+        opt.step()
+        assert not np.array_equal(ebc._stacked, before)
+        # Only the touched rows moved (row 1 of each table).
+        changed = np.argwhere(
+            np.abs(ebc._stacked - before).sum(axis=1) > 0
+        ).reshape(-1)
+        expected = ebc._offsets + 1
+        np.testing.assert_array_equal(changed, expected)
+
+    def test_set_sparse_grad_mode_walks_model(self, rng):
+        ebc = self.make_ebc(rng)
+        set_sparse_grad_mode(ebc, "dense")
+        assert ebc.sparse_grad_mode == "dense"
+        assert all(t.sparse_grad_mode == "dense" for t in ebc.tables)
+        with pytest.raises(ValueError, match="sparse_grad_mode"):
+            set_sparse_grad_mode(ebc, "sparse")
+
+
+class TestSingleTableRowwise:
+    def test_table_backward_rowwise_no_dense_array(self, rng):
+        table = EmbeddingTable(
+            TableConfig("t", num_embeddings=1000, dim=4), rng=rng
+        )
+        table(np.array([3, 3, 7]))
+        table.backward(np.ones((3, 4)))
+        rg = table.weight.row_grad
+        assert rg is not None
+        np.testing.assert_array_equal(rg.rows, [3, 7])
+        np.testing.assert_allclose(rg.grads[0], 2.0)
+
+    def test_rowwise_matches_dense_reference(self, rng):
+        cfg = TableConfig("t", num_embeddings=20, dim=3, pooling=2)
+        t_row = EmbeddingTable(cfg, rng=np.random.default_rng(1))
+        t_dense = EmbeddingTable(cfg, rng=np.random.default_rng(1))
+        t_dense.sparse_grad_mode = "dense"
+        ids = rng.integers(0, 20, size=(6, 2))
+        grad = rng.standard_normal((6, 3))
+        t_row(ids)
+        t_row.backward(grad)
+        t_dense(ids)
+        t_dense.backward(grad)
+        np.testing.assert_array_equal(t_row.weight.grad, t_dense.weight.grad)
+
+
+class TestWarmupDecayRegression:
+    def test_decay_start_zero_never_zeroes_lr(self):
+        """decay_start=0 used to yield lr=0 for every step >= 1."""
+        sched = WarmupDecaySchedule(peak_lr=0.1, warmup_steps=0)
+        assert sched.decay_start == 1
+        for step in range(10):
+            assert sched.lr_at(step) > 0
+        assert sched.lr_at(4) == pytest.approx(0.1 * np.sqrt(1 / 4))
+
+    def test_explicit_zero_decay_start_clamped(self):
+        sched = WarmupDecaySchedule(peak_lr=1.0, warmup_steps=0, decay_start=0)
+        assert sched.decay_start == 1
+        assert sched.lr_at(100) == pytest.approx(np.sqrt(1 / 100))
+
+    def test_negative_decay_start_rejected(self):
+        with pytest.raises(ValueError, match="decay_start"):
+            WarmupDecaySchedule(peak_lr=1.0, warmup_steps=0, decay_start=-1)
+
+    def test_normal_schedule_unchanged(self):
+        sched = WarmupDecaySchedule(peak_lr=1.0, warmup_steps=4, decay_start=8)
+        assert sched.lr_at(0) == pytest.approx(0.25)
+        assert sched.lr_at(3) == pytest.approx(1.0)
+        assert sched.lr_at(8) == pytest.approx(1.0)
+        assert sched.lr_at(32) == pytest.approx(0.5)
