@@ -24,6 +24,7 @@ Quick taste::
 """
 
 from repro.api.spec import (
+    CheckpointSpec,
     ClusterSpec,
     DataSpec,
     ModelSpec,
@@ -35,6 +36,7 @@ from repro.api.spec import (
     TrainSpec,
 )
 from repro.api.results import (
+    CheckpointArtifact,
     DataArtifact,
     PartitionArtifact,
     PlanArtifact,
@@ -53,6 +55,7 @@ __all__ = [
     "TrainSpec",
     "PerfSpec",
     "ServeSpec",
+    "CheckpointSpec",
     "RunSpec",
     "SpecError",
     "Session",
@@ -63,5 +66,6 @@ __all__ = [
     "TrainArtifact",
     "PriceArtifact",
     "ServeArtifact",
+    "CheckpointArtifact",
     "RunResult",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "TrainArtifact",
     "PriceArtifact",
     "ServeArtifact",
+    "CheckpointArtifact",
     "RunResult",
     "jsonable",
 ]
@@ -208,6 +209,32 @@ class ServeArtifact:
         return out
 
 
+@dataclass
+class CheckpointArtifact:
+    """Outcome of the checkpoint stage: what was saved/restored, and —
+    when the spec's cluster differs from the saved one — the elastic
+    re-placement plan (:class:`repro.checkpoint.ElasticRestorePlan`)."""
+
+    saved_path: Optional[str] = None
+    resumed_from: Optional[str] = None
+    resumed_step: Optional[int] = None
+    elastic: Optional[Any] = None  # ElasticRestorePlan
+    warm_start_rows: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.saved_path is not None:
+            out["saved_path"] = self.saved_path
+        if self.resumed_from is not None:
+            out["resumed_from"] = self.resumed_from
+            out["resumed_step"] = self.resumed_step
+        if self.elastic is not None:
+            out["elastic"] = self.elastic.summary()
+        if self.warm_start_rows:
+            out["warm_start_rows"] = dict(self.warm_start_rows)
+        return out
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class RunResult:
@@ -222,6 +249,7 @@ class RunResult:
     train: Optional[Dict[str, Any]] = None
     price: Optional[Dict[str, Any]] = None
     serve: Optional[Dict[str, Any]] = None
+    checkpoint: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def cluster_summary(cluster: Cluster) -> Dict[str, Any]:
@@ -235,7 +263,8 @@ class RunResult:
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"name": self.name, "spec": self.spec}
         for section in (
-            "cluster", "data", "partition", "plan", "train", "price", "serve"
+            "cluster", "data", "partition", "plan", "train", "price",
+            "serve", "checkpoint",
         ):
             value = getattr(self, section)
             if value is not None:
@@ -317,5 +346,27 @@ class RunResult:
                 lines.append(
                     f"  disaggregated p99 speedup "
                     f"{sv['p99_speedup_disaggregated']:.2f}x"
+                )
+        if self.checkpoint is not None:
+            ck = self.checkpoint
+            if "resumed_from" in ck:
+                lines.append(
+                    f"checkpoint: resumed from {ck['resumed_from']} "
+                    f"(step {ck['resumed_step']})"
+                )
+            if "saved_path" in ck:
+                lines.append(f"checkpoint: saved to {ck['saved_path']}")
+            if "elastic" in ck:
+                el = ck["elastic"]
+                lines.append(
+                    f"  elastic restore: {el['source_world']} -> "
+                    f"{el['target_world']} ranks, "
+                    f"{el['moved_mb']:.1f} MB moved "
+                    f"({el['moved_fraction'] * 100.0:.0f}%), migration "
+                    f"{el['migration_ms']:.2f} ms"
+                )
+            if "warm_start_rows" in ck:
+                lines.append(
+                    f"  serve warm-start rows: {ck['warm_start_rows']}"
                 )
         return "\n".join(lines)

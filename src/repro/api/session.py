@@ -5,7 +5,9 @@ workflow — generate click logs, train a probe, learn the tower
 partition, build the DMT model, shard the tables, train, and price the
 iteration — in one call.  Each stage is also callable on its own
 (``build_cluster`` / ``load_data`` / ``build_model`` / ``partition`` /
-``plan`` / ``train`` / ``price`` / ``serve``); stages compose the existing
+``plan`` / ``train`` / ``price`` / ``serve``, plus ``save_checkpoint`` /
+``resume`` / ``elastic_plan`` when a checkpoint section is present);
+stages compose the existing
 subpackages, cache their artifacts on the session, and pull in their
 prerequisites lazily, so a pricing-only spec never touches the data
 generator and a quality-only spec never builds paper-scale profiles.
@@ -19,11 +21,13 @@ partitioning once.
 from __future__ import annotations
 
 import functools
-from typing import Any, Dict, List, Tuple
+import os
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.api.results import (
+    CheckpointArtifact,
     DataArtifact,
     PartitionArtifact,
     PlanArtifact,
@@ -33,12 +37,21 @@ from repro.api.results import (
     TrainArtifact,
 )
 from repro.api.spec import (
+    CheckpointSpec,
     DataSpec,
     ModelSpec,
     PartitionSpec,
     RunSpec,
     ServeSpec,
     SpecError,
+)
+from repro.checkpoint import (
+    CheckpointManager,
+    CheckpointMismatchError,
+    load_training_checkpoint,
+    plan_elastic_restore,
+    read_manifest,
+    save_training_checkpoint,
 )
 from repro.core.dmt_pipeline import DistributedDMTTrainer
 from repro.core.partition import FeaturePartition
@@ -362,7 +375,60 @@ class Session:
                 seed=train.seed,
             ),
         )
-        epoch_losses = trainer.fit(*art.train)
+        ck = self.spec.checkpoint
+        on_step_end = None
+        if ck is not None:
+            record = self._checkpoint_record()
+            if ck.resume_from is not None:
+                metadata = read_manifest(ck.resume_from)["metadata"]
+                # The data section must match the saved run exactly:
+                # the geometry and train-config checks inside the
+                # loader cannot see a changed sample count or seed, and
+                # a resumed shuffle over different data would be a
+                # silent non-bit-identical "continuation".
+                saved_data = (metadata.get("spec") or {}).get("data")
+                if saved_data is not None and saved_data != (
+                    self.spec.data.to_dict()
+                ):
+                    diff = sorted(
+                        k
+                        for k in set(saved_data)
+                        | set(self.spec.data.to_dict())
+                        if saved_data.get(k)
+                        != self.spec.data.to_dict().get(k)
+                    )
+                    raise CheckpointMismatchError(
+                        f"checkpoint {ck.resume_from!r} was saved under "
+                        f"a different data section (fields {diff}); "
+                        f"resuming on different data cannot be "
+                        f"bit-identical"
+                    )
+                load_training_checkpoint(ck.resume_from, model, trainer)
+                record.resumed_from = ck.resume_from
+                record.resumed_step = trainer.global_step
+                # A different cluster shape than the one the run was
+                # saved under triggers the elastic re-placement plan.
+                saved = metadata.get("cluster")
+                if saved is not None:
+                    saved_world = int(saved.get("num_hosts", 1)) * int(
+                        saved.get("gpus_per_host", 1)
+                    )
+                    if saved_world != self.spec.cluster.world_size:
+                        record.elastic = self._elastic_plan()
+            if ck.save_every_steps > 0:
+                manager = CheckpointManager(
+                    os.path.join(ck.directory, self.spec.name),
+                    every_steps=ck.save_every_steps,
+                    keep_last=ck.keep_last,
+                )
+                save_kwargs = self._checkpoint_save_kwargs()
+
+                def on_step_end(tr, _m=manager, _kw=save_kwargs):
+                    path = _m.maybe_save(model, tr, **_kw)
+                    if path is not None:
+                        self._checkpoint_record().saved_path = path
+
+        epoch_losses = trainer.fit(*art.train, on_step_end=on_step_end)
         eval_result = trainer.evaluate(*art.eval)
         return TrainArtifact(
             mode="single",
@@ -371,6 +437,84 @@ class Session:
             eval_result=eval_result,
             epoch_losses=[float(x) for x in epoch_losses],
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_record(self) -> CheckpointArtifact:
+        """The (lazily created) checkpoint artifact this run accretes."""
+        return self._stage("checkpoint", CheckpointArtifact)
+
+    def _checkpoint_save_kwargs(self) -> Dict[str, Any]:
+        """Partition provenance to embed in saved checkpoints."""
+        kwargs: Dict[str, Any] = {"spec": self.spec}
+        if self.spec.partition is not None:
+            part = self.partition()
+            kwargs["partition"] = part.partition
+            if part.tp_result is not None:
+                kwargs["interaction"] = part.tp_result.interaction
+        return kwargs
+
+    def save_checkpoint(self, path: Optional[str] = None) -> str:
+        """Snapshot the trained model + trainer state to ``path``.
+
+        Runs the training stage first if it has not run yet.  The
+        default path is ``<checkpoint.directory>/<run name>/final``
+        (requiring a checkpoint section only when no explicit path is
+        given).  Only single-process training checkpoints.
+        """
+        train = self._need("train")
+        if train.mode != "single":
+            raise SpecError(
+                "save_checkpoint covers single-process training; "
+                f"got train.mode={train.mode!r}"
+            )
+        if path is None:
+            ck: CheckpointSpec = self._need("checkpoint")
+            path = os.path.join(ck.directory, self.spec.name, "final")
+        art = self.train()
+        save_training_checkpoint(
+            path, art.model, art.trainer, **self._checkpoint_save_kwargs()
+        )
+        self._checkpoint_record().saved_path = path
+        return path
+
+    def resume(self) -> TrainArtifact:
+        """Resume training from ``checkpoint.resume_from``.
+
+        With an unchanged spec the continued run is bit-identical to
+        one that never stopped; with a different cluster section the
+        elastic re-placement plan is computed alongside (see
+        :meth:`elastic_plan`).
+        """
+        ck: CheckpointSpec = self._need("checkpoint")
+        if ck.resume_from is None:
+            raise SpecError(
+                f"spec {self.spec.name!r} has no checkpoint.resume_from "
+                f"to resume"
+            )
+        return self.train()
+
+    def _elastic_plan(self):
+        ck: CheckpointSpec = self._need("checkpoint")
+        if ck.resume_from is None:
+            raise SpecError(
+                "elastic_plan requires checkpoint.resume_from"
+            )
+        part = self.spec.partition
+        return plan_elastic_restore(
+            ck.resume_from,
+            self.build_cluster(),
+            num_towers=part.num_towers if part is not None else None,
+        )
+
+    def elastic_plan(self):
+        """Re-partition/re-shard/price the resume checkpoint onto this
+        spec's cluster (an :class:`repro.checkpoint.ElasticRestorePlan`)."""
+        record = self._checkpoint_record()
+        if record.elastic is None:
+            record.elastic = self._elastic_plan()
+        return record.elastic
 
     def _train_simulated(self) -> TrainArtifact:
         train = self.spec.train
@@ -496,6 +640,12 @@ class Session:
                 else (serve.placement,)
             )
             emb_hosts = serve.resolved_emb_hosts(cluster.num_hosts)
+            ck = self.spec.checkpoint
+            warm_from = (
+                ck.resume_from
+                if ck is not None and ck.warm_start
+                else None
+            )
             reports, timelines = {}, {}
             for strategy in placements:
                 sim = SimCluster(cluster)
@@ -509,6 +659,11 @@ class Session:
                     ),
                     LRUEmbeddingCache(serve.cache_rows),
                 )
+                if warm_from is not None:
+                    seeded = service.warm_start_from_checkpoint(warm_from)
+                    self._checkpoint_record().warm_start_rows[
+                        strategy
+                    ] = seeded
                 reports[strategy] = service.serve(requests)
                 timelines[strategy] = sim.timeline
             return ServeArtifact(
@@ -538,6 +693,10 @@ class Session:
             result.price = self.price().summary()
         if spec.serve is not None:
             result.serve = self.serve().summary()
+        if "checkpoint" in self._artifacts:
+            summary = self._artifacts["checkpoint"].summary()
+            if summary:
+                result.checkpoint = summary
         return result
 
 

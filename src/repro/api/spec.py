@@ -29,6 +29,7 @@ __all__ = [
     "TrainSpec",
     "PerfSpec",
     "ServeSpec",
+    "CheckpointSpec",
     "RunSpec",
     "SpecError",
 ]
@@ -493,6 +494,46 @@ class ServeSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class CheckpointSpec(_SpecBase):
+    """Fault-tolerance protocol: periodic saves, resume, warm-start.
+
+    ``save_every_steps > 0`` wires periodic auto-save through the
+    trainer into ``<directory>/<run name>/step_<n>`` (keeping the
+    newest ``keep_last``).  ``resume_from`` names a checkpoint
+    directory to restore before training continues — bit-identically
+    when the rest of the spec matches the saved run, and with an
+    elastic re-placement plan (re-partition + re-shard + priced
+    migration) when the spec's cluster differs from the saved one.
+    With a serve section, ``warm_start`` prefills each placement arm's
+    LRU embedding cache from the checkpoint's hottest saved rows.
+    """
+
+    directory: str = "checkpoints"
+    save_every_steps: int = 0
+    keep_last: int = 2
+    resume_from: Optional[str] = None
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.directory, str) and bool(self.directory),
+            "checkpoint directory must be a non-empty path",
+        )
+        _require(
+            self.save_every_steps >= 0,
+            f"save_every_steps must be >= 0, got {self.save_every_steps}",
+        )
+        _require(
+            self.keep_last >= 1,
+            f"keep_last must be >= 1, got {self.keep_last}",
+        )
+        _require(
+            self.resume_from is None or bool(self.resume_from),
+            "resume_from must be None or a non-empty path",
+        )
+
+
+@dataclass(frozen=True)
 class PerfSpec(_SpecBase):
     """Paper-scale iteration pricing: hybrid baseline vs DMT."""
 
@@ -537,6 +578,7 @@ class RunSpec(_SpecBase):
     train: Optional[TrainSpec] = None
     perf: Optional[PerfSpec] = None
     serve: Optional[ServeSpec] = None
+    checkpoint: Optional[CheckpointSpec] = None
 
     _SECTIONS = {
         "cluster": ClusterSpec,
@@ -546,6 +588,7 @@ class RunSpec(_SpecBase):
         "train": TrainSpec,
         "perf": PerfSpec,
         "serve": ServeSpec,
+        "checkpoint": CheckpointSpec,
     }
 
     def __post_init__(self) -> None:
@@ -590,6 +633,26 @@ class RunSpec(_SpecBase):
                 _require(
                     self.model.variant != "dmt" or self.partition is not None,
                     "serving a DMT variant requires a partition section",
+                )
+        if self.checkpoint is not None:
+            _require(
+                self.train is not None or self.serve is not None,
+                "a checkpoint section needs a train or serve section "
+                "to act on",
+            )
+            if self.checkpoint.save_every_steps > 0:
+                _require(
+                    self.train is not None,
+                    "checkpoint.save_every_steps requires a train section",
+                )
+            if self.train is not None and (
+                self.checkpoint.save_every_steps > 0
+                or self.checkpoint.resume_from is not None
+            ):
+                _require(
+                    self.train.mode == "single",
+                    "checkpoint save/resume covers single-process "
+                    "training; set train.mode='single'",
                 )
         if self.train is not None:
             _require(

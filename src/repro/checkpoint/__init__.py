@@ -1,0 +1,63 @@
+"""Fault-tolerant checkpoint/restore with elastic resharding.
+
+Long-lived multi-plane jobs only earn the disaggregated-placement
+argument if their state can be saved, restored **bit-identically**, and
+re-placed when the cluster shape changes.  This package provides:
+
+- :mod:`repro.checkpoint.format` — the versioned on-disk format
+  (JSON manifest + CRC-checked ``.npy`` payloads) and the typed error
+  taxonomy (:class:`CheckpointError` and friends);
+- :mod:`repro.checkpoint.state` — training snapshots covering model
+  parameters, both optimizer states, trainer progress and data-loader
+  RNG, plus :class:`CheckpointManager` (periodic auto-save with
+  retention) and :func:`hottest_rows` (serving warm-start ranking);
+- :mod:`repro.checkpoint.elastic` — :func:`plan_elastic_restore`:
+  re-run the tower partitioner over the saved tables, re-shard onto
+  the new world size, and price the migration through the collective
+  cost model.
+"""
+
+from repro.checkpoint.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointNotFoundError,
+    CheckpointVersionError,
+    read_array,
+    read_arrays,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.checkpoint.state import (
+    CheckpointManager,
+    checkpoint_step,
+    hottest_rows,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from repro.checkpoint.elastic import ElasticRestorePlan, plan_elastic_restore
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointMismatchError",
+    "read_manifest",
+    "read_array",
+    "read_arrays",
+    "write_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "checkpoint_step",
+    "hottest_rows",
+    "CheckpointManager",
+    "ElasticRestorePlan",
+    "plan_elastic_restore",
+]

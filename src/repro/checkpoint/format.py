@@ -1,0 +1,236 @@
+"""Versioned on-disk checkpoint format: JSON manifest + ``.npy`` payloads.
+
+A checkpoint is a directory::
+
+    <path>/
+      manifest.json        # format id, version, array index, metadata
+      arr_00000.npy        # one payload file per saved array
+      arr_00001.npy
+      ...
+
+The manifest maps logical array keys (``model/<param>``,
+``opt/sparse/accum/<i>``, ...) to payload files together with each
+array's shape, dtype, byte length and CRC-32 — so a truncated or
+bit-flipped payload is detected *before* any state is mutated, and a
+manifest written by a future format version is rejected instead of
+being half-understood.  The manifest is written last (atomically, via a
+temp file + rename): its presence marks a complete checkpoint, so a
+crash mid-save can never masquerade as a loadable one.
+
+Every failure mode raises a typed :class:`CheckpointError` subclass;
+there is no silent partial load anywhere in :mod:`repro.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import zlib
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "CheckpointCorruptError",
+    "CheckpointVersionError",
+    "CheckpointMismatchError",
+    "write_checkpoint",
+    "read_manifest",
+    "read_array",
+    "read_arrays",
+]
+
+#: Identifies a manifest as ours (vs any random JSON file).
+FORMAT_NAME = "repro.checkpoint"
+#: Bump on any incompatible layout change; readers reject other versions.
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class CheckpointError(Exception):
+    """Base class for every checkpoint failure."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """The path is not a checkpoint directory (no manifest)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A payload or the manifest is truncated, altered, or unparsable."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The manifest was written by an unsupported format version."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint does not fit the object it is being loaded into
+    (table cardinality / parameter shape / missing state)."""
+
+
+# ----------------------------------------------------------------------
+def write_checkpoint(
+    path: str,
+    arrays: Dict[str, np.ndarray],
+    metadata: Dict[str, Any],
+) -> str:
+    """Write ``arrays`` + JSON-able ``metadata`` as one checkpoint.
+
+    Returns ``path``.  Array keys are logical names; payload files are
+    assigned in sorted-key order so a checkpoint's layout is a pure
+    function of its contents.
+
+    The whole directory is staged as a ``.tmp`` sibling and swapped in
+    only once complete, so a crash mid-save never corrupts an existing
+    checkpoint's payloads: the old version survives at ``path`` (or, in
+    the instant between the two swap renames, parked whole at
+    ``<path>.old``), and re-saving with fewer arrays leaves no orphan
+    payload files behind.
+    """
+    # Serialize the manifest skeleton first so a non-JSON-able metadata
+    # value fails before any bytes hit disk.
+    json.dumps(metadata)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    staging = path.rstrip("/\\") + ".tmp"
+    if os.path.isdir(staging):
+        shutil.rmtree(staging)
+    os.makedirs(staging)
+    entries: Dict[str, Dict[str, Any]] = {}
+    for idx, key in enumerate(sorted(arrays)):
+        arr = np.ascontiguousarray(arrays[key])
+        fname = f"arr_{idx:05d}.npy"
+        # Serialize in memory so the CRC costs no second disk pass.
+        buffer = io.BytesIO()
+        np.save(buffer, arr)
+        raw = buffer.getvalue()
+        with open(os.path.join(staging, fname), "wb") as fh:
+            fh.write(raw)
+        entries[key] = {
+            "file": fname,
+            "shape": [int(s) for s in arr.shape],
+            "dtype": str(arr.dtype),
+            "nbytes": len(raw),
+            "crc32": zlib.crc32(raw),
+        }
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "arrays": entries,
+        "metadata": metadata,
+    }
+    with open(os.path.join(staging, MANIFEST_NAME), "w") as fh:
+        fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    # Swap the completed staging dir in.  Replacing an existing
+    # checkpoint parks it aside first, so no crash window ever leaves a
+    # manifest pointing at overwritten payloads.
+    if os.path.isdir(path):
+        trash = path.rstrip("/\\") + ".old"
+        if os.path.isdir(trash):
+            shutil.rmtree(trash)
+        os.rename(path, trash)
+        os.rename(staging, path)
+        shutil.rmtree(trash)
+    else:
+        os.rename(staging, path)
+    return path
+
+
+def read_manifest(path: str) -> Dict[str, Any]:
+    """Parse and validate ``<path>/manifest.json``.
+
+    Raises :class:`CheckpointNotFoundError` when the directory or
+    manifest is missing, :class:`CheckpointCorruptError` on malformed
+    JSON or structure, and :class:`CheckpointVersionError` on a format
+    version this reader does not support.
+    """
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if not os.path.isfile(manifest_path):
+        raise CheckpointNotFoundError(
+            f"no checkpoint at {path!r}: missing {MANIFEST_NAME} "
+            f"(an incomplete save never writes one)"
+        )
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptError(
+            f"manifest at {manifest_path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise CheckpointCorruptError(
+            f"manifest at {manifest_path!r} is not a {FORMAT_NAME} manifest"
+        )
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise CheckpointVersionError(
+            f"checkpoint at {path!r} has format version {version!r}; this "
+            f"reader supports version {FORMAT_VERSION} only"
+        )
+    arrays = manifest.get("arrays")
+    metadata = manifest.get("metadata")
+    if not isinstance(arrays, dict) or not isinstance(metadata, dict):
+        raise CheckpointCorruptError(
+            f"manifest at {manifest_path!r} is missing its arrays or "
+            f"metadata section"
+        )
+    return manifest
+
+
+def read_array(
+    path: str, key: str, manifest: Optional[Dict[str, Any]] = None
+) -> np.ndarray:
+    """Load and integrity-check one payload array by logical key."""
+    manifest = manifest if manifest is not None else read_manifest(path)
+    entry = manifest["arrays"].get(key)
+    if entry is None:
+        raise CheckpointMismatchError(
+            f"checkpoint at {path!r} has no array {key!r}"
+        )
+    full = os.path.join(path, entry["file"])
+    if not os.path.isfile(full):
+        raise CheckpointCorruptError(
+            f"checkpoint at {path!r}: payload {entry['file']!r} for "
+            f"{key!r} is missing"
+        )
+    with open(full, "rb") as fh:
+        raw = fh.read()
+    if len(raw) != entry["nbytes"] or zlib.crc32(raw) != entry["crc32"]:
+        raise CheckpointCorruptError(
+            f"checkpoint at {path!r}: payload {entry['file']!r} for "
+            f"{key!r} is truncated or corrupt ({len(raw)} bytes, "
+            f"manifest says {entry['nbytes']})"
+        )
+    try:
+        arr = np.load(io.BytesIO(raw), allow_pickle=False)
+    except ValueError as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint at {path!r}: payload {entry['file']!r} for "
+            f"{key!r} is not a valid .npy file: {exc}"
+        ) from exc
+    if list(arr.shape) != list(entry["shape"]) or str(arr.dtype) != entry[
+        "dtype"
+    ]:
+        raise CheckpointCorruptError(
+            f"checkpoint at {path!r}: payload for {key!r} decodes to "
+            f"{arr.shape}/{arr.dtype}, manifest says "
+            f"{tuple(entry['shape'])}/{entry['dtype']}"
+        )
+    return arr
+
+
+def read_arrays(
+    path: str, manifest: Optional[Dict[str, Any]] = None
+) -> Dict[str, np.ndarray]:
+    """Load and integrity-check every payload array of a checkpoint."""
+    manifest = manifest if manifest is not None else read_manifest(path)
+    return {
+        key: read_array(path, key, manifest) for key in manifest["arrays"]
+    }

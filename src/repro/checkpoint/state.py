@@ -1,0 +1,366 @@
+"""Training-state checkpoints: model + optimizer + trainer + data RNG.
+
+:func:`save_training_checkpoint` snapshots everything a single-process
+run needs to resume **bit-identically**:
+
+- every model parameter (per-table embedding parameters are row-slice
+  views of the fused stacked matrix; saving copies them out and
+  restoring copies them back *in place*, so the aliasing survives);
+- the full optimizer state of both planes (Adam/SGD moments for the
+  dense arch, Adagrad/RowwiseAdagrad accumulators — elementwise or
+  scalar — for the embedding plane), via the ``state_dict`` protocol on
+  :class:`repro.nn.optim.Optimizer`;
+- trainer progress (epoch, global step, complete loss history, the
+  in-flight epoch's batch losses) and the data loader's RNG state, so a
+  resumed run replays the exact shuffle order of an uninterrupted one;
+- the embedding-table geometry and (optionally) the spec, tower
+  partition, and feature-interaction matrix — the inputs
+  :mod:`repro.checkpoint.elastic` needs to re-place the run on a
+  different cluster.
+
+:class:`CheckpointManager` adds periodic auto-save with bounded
+retention; :func:`hottest_rows` ranks saved embedding rows by their
+Adagrad accumulator mass (rows the training traffic actually hit),
+which is what serving warm-start prefills its LRU cache from.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.checkpoint.format import (
+    CheckpointMismatchError,
+    read_array,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.nn.embedding import EmbeddingBagCollection
+
+__all__ = [
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "checkpoint_step",
+    "hottest_rows",
+    "CheckpointManager",
+]
+
+_MODEL_PREFIX = "model/"
+_OPT_PREFIX = "opt/"
+#: Names the trainer state stores its two optimizers under.
+_OPT_ROLES = ("dense", "sparse")
+
+
+def _model_geometry(model: Any) -> List[dict]:
+    """Embedding-table geometry of every collection in module order."""
+    geometry: List[dict] = []
+    if hasattr(model, "modules"):
+        for module in model.modules():
+            if isinstance(module, EmbeddingBagCollection):
+                geometry.extend(module.geometry())
+    return geometry
+
+
+def _split_optimizer_state(
+    prefix: str, opt_state: Dict[str, Any], arrays: Dict[str, np.ndarray]
+) -> Dict[str, Any]:
+    """Move an optimizer state's slot arrays into ``arrays`` payloads,
+    returning the JSON-able remainder (slot keys preserved by name)."""
+    meta = {k: v for k, v in opt_state.items() if k != "slots"}
+    slot_keys: Dict[str, List[str]] = {}
+    for slot, entries in opt_state["slots"].items():
+        keys = sorted(entries, key=int)
+        slot_keys[slot] = keys
+        for key in keys:
+            arrays[f"{prefix}/{slot}/{int(key):05d}"] = entries[key]
+    meta["slot_keys"] = slot_keys
+    return meta
+
+
+def _join_optimizer_state(
+    path: str,
+    prefix: str,
+    meta: Dict[str, Any],
+    manifest: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Inverse of :func:`_split_optimizer_state`, reading payloads."""
+    slots: Dict[str, Dict[str, np.ndarray]] = {}
+    for slot, keys in meta["slot_keys"].items():
+        entries: Dict[str, np.ndarray] = {}
+        for key in keys:
+            entries[key] = read_array(
+                path, f"{prefix}/{slot}/{int(key):05d}", manifest
+            )
+        slots[slot] = entries
+    state = {k: v for k, v in meta.items() if k != "slot_keys"}
+    state["slots"] = slots
+    return state
+
+
+# ----------------------------------------------------------------------
+def save_training_checkpoint(
+    path: str,
+    model: Any,
+    trainer: Any = None,
+    *,
+    spec: Any = None,
+    partition: Any = None,
+    interaction: Optional[np.ndarray] = None,
+    extra_metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write one training checkpoint directory; returns ``path``.
+
+    ``model`` is any :class:`repro.nn.module.Module`; ``trainer`` (a
+    :class:`repro.training.Trainer`, optional) contributes optimizer +
+    progress + data-RNG state.  ``spec`` (a ``RunSpec``), ``partition``
+    (a :class:`repro.core.partition.FeaturePartition`) and
+    ``interaction`` (the probed (F, F) feature-interaction matrix) are
+    recorded when given so an elastic restore can re-run the tower
+    partitioner and re-price placement without the original session.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        _MODEL_PREFIX + name: value
+        for name, value in model.state_dict().items()
+    }
+    metadata: Dict[str, Any] = {
+        "kind": "training",
+        "model_class": type(model).__name__,
+        "tables": _model_geometry(model),
+    }
+    if trainer is not None:
+        trainer_state = trainer.state_dict()
+        opt_meta = {}
+        for role in _OPT_ROLES:
+            opt_state = trainer_state.pop(f"{role}_opt")
+            opt_meta[role] = _split_optimizer_state(
+                _OPT_PREFIX + role, opt_state, arrays
+            )
+        trainer_state["optimizers"] = opt_meta
+        metadata["trainer"] = trainer_state
+    if spec is not None:
+        metadata["spec"] = spec.to_dict()
+        metadata["cluster"] = spec.cluster.to_dict()
+    if partition is not None:
+        metadata["partition_groups"] = [list(g) for g in partition.groups]
+    if interaction is not None:
+        arrays["partition/interaction"] = np.asarray(
+            interaction, dtype=np.float64
+        )
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return write_checkpoint(path, arrays, metadata)
+
+
+def _check_geometry(path: str, metadata: Dict[str, Any], model: Any) -> None:
+    saved = metadata.get("tables", [])
+    own = _model_geometry(model)
+    if len(saved) != len(own):
+        raise CheckpointMismatchError(
+            f"checkpoint at {path!r} holds {len(saved)} embedding tables, "
+            f"model has {len(own)}"
+        )
+    for s, o in zip(saved, own):
+        if dict(s) != dict(o):
+            raise CheckpointMismatchError(
+                f"embedding table mismatch for {o['name']!r}: checkpoint "
+                f"saved {dict(s)}, model expects {dict(o)} (restoring "
+                f"across cardinalities requires an elastic restore, not "
+                f"a raw load)"
+            )
+
+
+def load_training_checkpoint(
+    path: str, model: Any, trainer: Any = None
+) -> Dict[str, Any]:
+    """Restore ``model`` (and optionally ``trainer``) from a checkpoint.
+
+    Returns the manifest metadata.  All validation — format version,
+    payload integrity, table geometry, parameter-name and shape match,
+    optimizer compatibility — happens before any state is touched, and
+    every failure is a typed :class:`~repro.checkpoint.format.CheckpointError`.
+    """
+    manifest = read_manifest(path)
+    metadata = manifest["metadata"]
+    if metadata.get("kind") != "training":
+        raise CheckpointMismatchError(
+            f"checkpoint at {path!r} is not a training checkpoint "
+            f"(kind={metadata.get('kind')!r})"
+        )
+    _check_geometry(path, metadata, model)
+    state = {
+        key[len(_MODEL_PREFIX) :]: read_array(path, key, manifest)
+        for key in manifest["arrays"]
+        if key.startswith(_MODEL_PREFIX)
+    }
+    trainer_state: Optional[Dict[str, Any]] = None
+    if trainer is not None:
+        trainer_meta = metadata.get("trainer")
+        if trainer_meta is None:
+            raise CheckpointMismatchError(
+                f"checkpoint at {path!r} has no trainer/optimizer state "
+                f"(it was saved from a bare model); cannot resume "
+                f"training from it"
+            )
+        trainer_state = dict(trainer_meta)
+        opt_meta = trainer_state.pop("optimizers", None)
+        if opt_meta is None or set(opt_meta) != set(_OPT_ROLES):
+            raise CheckpointMismatchError(
+                f"checkpoint at {path!r} is missing optimizer state for "
+                f"{sorted(set(_OPT_ROLES) - set(opt_meta or {}))}"
+            )
+        for role in _OPT_ROLES:
+            trainer_state[f"{role}_opt"] = _join_optimizer_state(
+                path, _OPT_PREFIX + role, opt_meta[role], manifest
+            )
+    # Everything staged — validate both targets before mutating either,
+    # so a mismatch can never leave a half-loaded model/trainer pair.
+    if trainer is not None:
+        try:
+            trainer.validate_state_dict(trainer_state)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointMismatchError(
+                f"checkpoint at {path!r} does not fit this trainer: {exc}"
+            ) from exc
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        # load_state_dict itself is validate-then-commit: reaching here
+        # means the model is untouched.
+        raise CheckpointMismatchError(
+            f"checkpoint at {path!r} does not fit this model: {exc}"
+        ) from exc
+    if trainer is not None:
+        trainer.load_state_dict(trainer_state)
+    return metadata
+
+
+def checkpoint_step(path: str) -> int:
+    """The global step a training checkpoint was saved at (0 if none)."""
+    metadata = read_manifest(path)["metadata"]
+    trainer = metadata.get("trainer") or {}
+    return int(trainer.get("global_step", 0))
+
+
+# ----------------------------------------------------------------------
+def hottest_rows(path: str, max_rows: int) -> np.ndarray:
+    """Global stacked-row ids of the hottest saved embedding rows.
+
+    Hotness is the sparse optimizer's Adagrad accumulator mass per row
+    (elementwise accumulators are summed over the embedding dim; scalar
+    accumulators are used as-is): rows the training traffic never
+    touched score exactly zero and are never returned.  Rows are ranked
+    hottest-first (ties broken by ascending row id for determinism) in
+    the stacked row space of the saved tables — table ``f``'s rows start
+    at ``sum(cardinality[:f])``, mirroring the fused
+    :class:`~repro.nn.embedding.EmbeddingBagCollection` layout.
+    """
+    if max_rows <= 0:
+        return np.empty(0, dtype=np.int64)
+    manifest = read_manifest(path)
+    metadata = manifest["metadata"]
+    trainer = metadata.get("trainer")
+    if trainer is None:
+        raise CheckpointMismatchError(
+            f"checkpoint at {path!r} has no optimizer state to rank "
+            f"row hotness from"
+        )
+    tables = metadata.get("tables", [])
+    offsets = np.concatenate(
+        ([0], np.cumsum([t["num_embeddings"] for t in tables]))
+    ).astype(np.int64)
+    accum_keys = trainer["optimizers"]["sparse"]["slot_keys"].get("accum", [])
+    ids: List[np.ndarray] = []
+    hotness: List[np.ndarray] = []
+    for key in accum_keys:
+        index = int(key)
+        if index >= len(tables):
+            raise CheckpointMismatchError(
+                f"checkpoint at {path!r}: sparse accumulator {index} has "
+                f"no matching table entry"
+            )
+        acc = read_array(
+            path, f"{_OPT_PREFIX}sparse/accum/{index:05d}", manifest
+        )
+        per_row = acc.sum(axis=1) if acc.ndim == 2 else np.asarray(acc)
+        touched = np.flatnonzero(per_row > 0.0)
+        ids.append(touched + offsets[index])
+        hotness.append(per_row[touched])
+    if not ids:
+        return np.empty(0, dtype=np.int64)
+    all_ids = np.concatenate(ids)
+    all_hot = np.concatenate(hotness)
+    # Sort by (-hotness, id): hottest first, deterministic ties.
+    order = np.lexsort((all_ids, -all_hot))
+    return all_ids[order[:max_rows]].astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+class CheckpointManager:
+    """Periodic auto-save with bounded retention.
+
+    Saves into ``<directory>/step_<global_step>`` every ``every_steps``
+    optimizer steps and keeps only the newest ``keep_last`` periodic
+    checkpoints — the cadence/retention policy a ``CheckpointSpec``
+    describes and :class:`repro.api.Session` wires into
+    :meth:`repro.training.Trainer.fit`.
+    """
+
+    _STEP_DIR = re.compile(r"^step_(\d{8})$")
+
+    def __init__(
+        self, directory: str, every_steps: int = 0, keep_last: int = 2
+    ):
+        if every_steps < 0:
+            raise ValueError(
+                f"every_steps must be >= 0, got {every_steps}"
+            )
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = directory
+        self.every_steps = every_steps
+        self.keep_last = keep_last
+
+    def step_path(self, step: int) -> str:
+        return os.path.join(self.directory, f"step_{step:08d}")
+
+    def saved_steps(self) -> List[int]:
+        """Steps with a retained checkpoint, ascending."""
+        if not os.path.isdir(self.directory):
+            return []
+        steps = []
+        for name in os.listdir(self.directory):
+            match = self._STEP_DIR.match(name)
+            if match:
+                steps.append(int(match.group(1)))
+        return sorted(steps)
+
+    def latest(self) -> Optional[str]:
+        """Path of the newest retained checkpoint, or None."""
+        steps = self.saved_steps()
+        return self.step_path(steps[-1]) if steps else None
+
+    def save(self, model: Any, trainer: Any, **save_kwargs: Any) -> str:
+        path = save_training_checkpoint(
+            self.step_path(trainer.global_step), model, trainer, **save_kwargs
+        )
+        self._prune()
+        return path
+
+    def maybe_save(
+        self, model: Any, trainer: Any, **save_kwargs: Any
+    ) -> Optional[str]:
+        """Save iff the trainer just crossed a cadence boundary."""
+        if self.every_steps <= 0:
+            return None
+        if trainer.global_step % self.every_steps != 0:
+            return None
+        return self.save(model, trainer, **save_kwargs)
+
+    def _prune(self) -> None:
+        steps = self.saved_steps()
+        for step in steps[: -self.keep_last]:
+            shutil.rmtree(self.step_path(step), ignore_errors=True)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+import copy
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -15,6 +16,14 @@ class BatchIterator:
     Drops the trailing partial batch (matching fixed-shape training in
     the paper's pipelines); reshuffles each epoch from its own rng so
     runs are exactly repeatable.
+
+    The iterator is checkpointable mid-pass: :meth:`state_dict` captures
+    the generator state plus the position inside the current shuffle
+    (the permutation itself is *not* stored — it is redrawn bit-exactly
+    from the snapshotted pre-pass RNG state), and :meth:`load_state_dict`
+    restores it on a freshly constructed iterator over the same data, so
+    a resumed run sees the exact shuffle order an uninterrupted run
+    would have.
     """
 
     def __init__(
@@ -42,18 +51,84 @@ class BatchIterator:
         self.batch_size = batch_size
         self.shuffle = shuffle
         self._rng = np.random.default_rng(seed)
+        #: Next batch index within the current pass (0 = pass start).
+        self._next_batch = 0
+        #: RNG snapshot taken just before the current pass drew its
+        #: permutation; None when no pass is in flight.
+        self._pass_state: Optional[Dict[str, Any]] = None
+        # Set by load_state_dict: the next __iter__ resumes the restored
+        # mid-pass position instead of starting a fresh pass.
+        self._resume_pending = False
 
     def __len__(self) -> int:
         return len(self.labels) // self.batch_size
 
     def __iter__(self) -> Iterator[Batch]:
         n = len(self.labels)
+        if self._resume_pending and self._pass_state is not None:
+            # Restored mid-pass: rewind the rng to the saved pass start
+            # so the exact same permutation is drawn, then skip the
+            # batches the saved run already consumed.
+            self._resume_pending = False
+            self._rng.bit_generator.state = copy.deepcopy(self._pass_state)
+        else:
+            # Fresh pass (also after an abandoned partial pass, matching
+            # the pre-checkpoint semantics): snapshot where the
+            # permutation draw starts so a mid-pass checkpoint can
+            # replay it.
+            self._resume_pending = False
+            self._pass_state = copy.deepcopy(self._rng.bit_generator.state)
+            self._next_batch = 0
         order = (
             self._rng.permutation(n) if self.shuffle else np.arange(n)
         )
-        for i in range(len(self)):
+        while self._next_batch < len(self):
+            i = self._next_batch
             sel = order[i * self.batch_size : (i + 1) * self.batch_size]
+            self._next_batch += 1
             yield self.dense[sel], self.ids[sel], self.labels[sel]
+        self._pass_state = None
+        self._next_batch = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable iteration state (RNG + mid-pass position)."""
+        return {
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "pass_state": copy.deepcopy(self._pass_state),
+            "next_batch": int(self._next_batch),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore :meth:`state_dict` output onto this iterator.
+
+        The iterator must be freshly constructed over the same data and
+        batch size the state was captured with; the next pass then
+        yields exactly the batches the saved run would have seen.
+        """
+        missing = {"rng_state", "pass_state", "next_batch"} - set(state)
+        if missing:
+            raise ValueError(
+                f"iterator state missing field(s): {sorted(missing)}"
+            )
+        next_batch = int(state["next_batch"])
+        if not 0 <= next_batch <= len(self):
+            raise ValueError(
+                f"restored batch position {next_batch} out of range "
+                f"[0, {len(self)}] — was the state saved with a "
+                f"different dataset or batch size?"
+            )
+        if state["pass_state"] is None and next_batch != 0:
+            raise ValueError(
+                "restored state has no in-flight pass but a non-zero "
+                "batch position"
+            )
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self._pass_state = copy.deepcopy(state["pass_state"])
+        self._next_batch = next_batch
+        self._resume_pending = self._pass_state is not None
 
 
 def train_eval_split(

@@ -231,6 +231,29 @@ class EmbeddingBagCollection(Module):
     def total_rows(self) -> int:
         return self._stacked.shape[0]
 
+    @property
+    def row_offsets(self) -> np.ndarray:
+        """Stacked-matrix start row of each table (``(F,)`` int64)."""
+        return self._offsets.copy()
+
+    def geometry(self) -> List[dict]:
+        """Table geometry as plain JSON-able dicts.
+
+        This is the identity a checkpoint manifest records and validates
+        against at restore time: loading saved tables into a collection
+        with different cardinalities must fail loudly, not reinterpret
+        rows.
+        """
+        return [
+            {
+                "name": c.name,
+                "num_embeddings": c.num_embeddings,
+                "dim": c.dim,
+                "pooling": c.pooling,
+            }
+            for c in self.configs
+        ]
+
     def set_sparse_grad_mode(self, mode: str) -> None:
         if mode not in SPARSE_GRAD_MODES:
             raise ValueError(

@@ -198,12 +198,16 @@ class Module:
                 f"state dict mismatch: missing {sorted(missing)}, "
                 f"unexpected {sorted(unexpected)}"
             )
+        # Validate every shape before touching anything: a mismatch
+        # surfacing mid-copy would leave the model half-loaded, which
+        # the checkpoint layer's no-partial-load guarantee forbids.
         for name, p in own.items():
             if state[name].shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
                     f"{state[name].shape} vs {p.data.shape}"
                 )
+        for name, p in own.items():
             # In-place copy (not rebinding): fused embedding collections
             # alias per-table parameters into one stacked matrix, and
             # loading state must not sever that aliasing.

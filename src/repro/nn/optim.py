@@ -9,15 +9,29 @@ statistics in Tables 4-6.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.module import Parameter
 
 
+def _json_normal(value: Any) -> Any:
+    """Round a config through JSON so tuples/lists compare equal."""
+    return json.loads(json.dumps(value))
+
+
 class Optimizer:
-    """Base: tracks parameters and a mutable learning rate."""
+    """Base: tracks parameters and a mutable learning rate.
+
+    Every optimizer round-trips through :meth:`state_dict` /
+    :meth:`load_state_dict`: hyper-state (``lr``, ``step_count``, the
+    subclass config) plus per-parameter state slots (momenta,
+    accumulators), keyed by parameter position exactly like the update
+    rule itself.  A restored optimizer continues bit-identically to one
+    that never stopped — the contract :mod:`repro.checkpoint` builds on.
+    """
 
     def __init__(self, params: Sequence[Parameter], lr: float):
         if lr <= 0:
@@ -44,6 +58,109 @@ class Optimizer:
     def _update(self, index: int, param: Parameter) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _slot_dicts(self) -> Dict[str, Dict[int, np.ndarray]]:
+        """The live per-parameter state dicts, keyed by slot name."""
+        return {}
+
+    def _config_state(self) -> Dict[str, Any]:
+        """JSON-able hyperparameters that must match across a restore."""
+        return {}
+
+    def _expected_slot_shape(
+        self, slot: str, param: Parameter
+    ) -> Tuple[int, ...]:
+        return param.data.shape
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the full optimizer state (arrays are copied)."""
+        return {
+            "type": type(self).__name__,
+            "lr": float(self.lr),
+            "step_count": int(self.step_count),
+            "num_params": len(self.params),
+            "config": self._config_state(),
+            "slots": {
+                slot: {
+                    str(i): np.array(arr, dtype=np.float64, copy=True)
+                    for i, arr in entries.items()
+                }
+                for slot, entries in self._slot_dicts().items()
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot, validating it against
+        this optimizer's type, config, and parameter shapes."""
+        restored = self.validate_state_dict(state)
+        for slot, target in self._slot_dicts().items():
+            target.clear()
+            target.update(restored[slot])
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+
+    def validate_state_dict(
+        self, state: Dict[str, Any]
+    ) -> Dict[str, Dict[int, np.ndarray]]:
+        """Validate a snapshot without mutating anything.
+
+        Returns the staged (copied, float64) slot arrays; raises
+        ``ValueError`` on any incompatibility.  :meth:`load_state_dict`
+        is exactly validate-then-commit, and callers that need
+        whole-checkpoint atomicity (the checkpoint loader) validate
+        every component up front before committing any of them.
+        """
+        if not isinstance(state, dict):
+            raise ValueError(
+                f"optimizer state must be a dict, got {type(state).__name__}"
+            )
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, cannot "
+                f"load into {type(self).__name__}"
+            )
+        if int(state.get("num_params", -1)) != len(self.params):
+            raise ValueError(
+                f"optimizer state covers {state.get('num_params')} "
+                f"parameters, this optimizer has {len(self.params)}"
+            )
+        saved_config = _json_normal(state.get("config", {}))
+        own_config = _json_normal(self._config_state())
+        if saved_config != own_config:
+            raise ValueError(
+                f"optimizer config mismatch: saved {saved_config!r} vs "
+                f"current {own_config!r}"
+            )
+        slots = state.get("slots", {})
+        own_slots = self._slot_dicts()
+        if set(slots) != set(own_slots):
+            raise ValueError(
+                f"optimizer slot mismatch: saved {sorted(slots)} vs "
+                f"expected {sorted(own_slots)}"
+            )
+        restored: Dict[str, Dict[int, np.ndarray]] = {}
+        for slot, entries in slots.items():
+            new: Dict[int, np.ndarray] = {}
+            for key, arr in entries.items():
+                i = int(key)
+                if not 0 <= i < len(self.params):
+                    raise ValueError(
+                        f"slot {slot!r} references parameter index {i}, "
+                        f"out of range for {len(self.params)} parameters"
+                    )
+                arr = np.array(arr, dtype=np.float64, copy=True)
+                want = self._expected_slot_shape(slot, self.params[i])
+                if arr.shape != tuple(want):
+                    raise ValueError(
+                        f"slot {slot!r}[{i}] shape {arr.shape} != expected "
+                        f"{tuple(want)} for parameter {self.params[i].name}"
+                    )
+                new[i] = arr
+            restored[slot] = new
+        return restored
+
 
 class SGD(Optimizer):
     """Plain SGD with optional momentum."""
@@ -56,6 +173,12 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity: Dict[int, np.ndarray] = {}
+
+    def _slot_dicts(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"velocity": self._velocity}
+
+    def _config_state(self) -> Dict[str, float]:
+        return {"momentum": float(self.momentum)}
 
     def _update(self, index: int, param: Parameter) -> None:
         g = param.grad
@@ -76,6 +199,12 @@ class Adagrad(Optimizer):
         super().__init__(params, lr)
         self.eps = eps
         self._accum: Dict[int, np.ndarray] = {}
+
+    def _slot_dicts(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"accum": self._accum}
+
+    def _config_state(self) -> Dict[str, float]:
+        return {"eps": float(self.eps)}
 
     def _update(self, index: int, param: Parameter) -> None:
         g = param.grad
@@ -122,6 +251,19 @@ class RowwiseAdagrad(Optimizer):
         self.eps = eps
         self.accumulator = accumulator
         self._accum: Dict[int, np.ndarray] = {}
+
+    def _slot_dicts(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"accum": self._accum}
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {"eps": float(self.eps), "accumulator": self.accumulator}
+
+    def _expected_slot_shape(
+        self, slot: str, param: Parameter
+    ) -> "Tuple[int, ...]":
+        if self.accumulator == "scalar":
+            return param.data.shape[:1]
+        return param.data.shape
 
     def _accum_for(self, index: int, param: Parameter) -> np.ndarray:
         acc = self._accum.get(index)
@@ -182,6 +324,12 @@ class Adam(Optimizer):
         self.eps = eps
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
+
+    def _slot_dicts(self) -> Dict[str, Dict[int, np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
+    def _config_state(self) -> Dict[str, Any]:
+        return {"betas": list(self.betas), "eps": float(self.eps)}
 
     def _update(self, index: int, param: Parameter) -> None:
         b1, b2 = self.betas

@@ -108,3 +108,20 @@ class LRUEmbeddingCache:
             self._rows.move_to_end(key)
         while len(self._rows) > self.capacity_rows:
             self._rows.popitem(last=False)
+
+    def prefill(self, keys: np.ndarray) -> int:
+        """Warm-start: seed rows without touching hit/miss accounting.
+
+        ``keys`` are expected hottest-first (the order
+        :func:`repro.checkpoint.hottest_rows` produces); they are
+        admitted in reverse so the hottest rows end up most-recently
+        used and are evicted last.  Only the first ``capacity_rows``
+        keys fit; returns how many were seeded.
+        """
+        if self.capacity_rows == 0:
+            return 0
+        kept = np.asarray(keys, dtype=np.int64).reshape(-1)[
+            : self.capacity_rows
+        ]
+        self.admit(kept[::-1])
+        return len(kept)

@@ -245,6 +245,29 @@ class InferenceService:
         return 2.0 * num_hit_rows * self.model.row_bytes / spec.hbm_bytes_per_s
 
     # ------------------------------------------------------------------
+    def warm_start_from_checkpoint(
+        self, path: str, max_rows: Optional[int] = None
+    ) -> int:
+        """Prefill the LRU cache from a training checkpoint's hottest
+        saved embedding rows (ranked by Adagrad accumulator mass — the
+        rows the training traffic actually hit).
+
+        Returns the number of rows seeded; a capacity-0 cache stays
+        empty.  The first served batches then hit instead of paying the
+        cold-start fetch storm — the FlexEMR-style warm start.
+        """
+        limit = self.cache.capacity_rows
+        if max_rows is not None:
+            limit = min(limit, max_rows)
+        if limit <= 0:
+            return 0
+        # Local import: serving stays importable without dragging the
+        # checkpoint stack in for services that never warm-start.
+        from repro.checkpoint.state import hottest_rows
+
+        return self.cache.prefill(hottest_rows(path, limit))
+
+    # ------------------------------------------------------------------
     def serve(self, requests: Sequence[Request]) -> ServingReport:
         """Replay the trace; returns the latency/throughput report."""
         if not requests:

@@ -9,8 +9,10 @@ and deterministic epoch iteration.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -118,6 +120,17 @@ class Trainer:
         self.loss_module = BCEWithLogitsLoss()
         self.global_step = 0
         self.loss_history: List[float] = []
+        #: Epochs fully completed (the next epoch :meth:`fit` runs).
+        self.epoch = 0
+        #: Mean batch loss of every completed epoch.
+        self.epoch_losses: List[float] = []
+        # Mid-epoch bookkeeping for checkpoint/resume: batch losses of
+        # the in-flight epoch, its iterator, and iterator state restored
+        # by load_state_dict but not yet applied (fit applies it to the
+        # fresh iterator it builds for the current epoch).
+        self._epoch_batch_losses: List[float] = []
+        self._epoch_iterator: Optional[BatchIterator] = None
+        self._pending_iterator_state: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def train_batch(
@@ -149,22 +162,127 @@ class Trainer:
         ids: np.ndarray,
         labels: np.ndarray,
         on_epoch_end: Optional[Callable[[int, float], None]] = None,
+        on_step_end: Optional[Callable[["Trainer"], None]] = None,
     ) -> List[float]:
-        """Full training run per the config; returns per-epoch losses."""
-        epoch_losses = []
-        for epoch in range(self.config.epochs):
+        """Full training run per the config; returns per-epoch losses.
+
+        Resumable: after :meth:`load_state_dict`, ``fit`` continues from
+        the restored epoch and mid-epoch batch position (the epoch's
+        shuffle order is replayed bit-exactly from the saved iterator
+        state) and returns the complete per-epoch loss list, including
+        the epochs trained before the interruption.  ``on_step_end``
+        fires after every optimizer step with the trainer itself — the
+        hook periodic checkpointing is wired through.
+        """
+        while self.epoch < self.config.epochs:
             batches = BatchIterator(
                 dense,
                 ids,
                 labels,
                 batch_size=self.config.batch_size,
-                seed=self.config.seed + epoch,
+                seed=self.config.seed + self.epoch,
             )
-            loss = self.train_epoch(batches)
-            epoch_losses.append(loss)
+            if self._pending_iterator_state is not None:
+                batches.load_state_dict(self._pending_iterator_state)
+                self._pending_iterator_state = None
+            self._epoch_iterator = batches
+            for batch in batches:
+                loss = self.train_batch(*batch)
+                self._epoch_batch_losses.append(loss)
+                if on_step_end is not None:
+                    on_step_end(self)
+            if not self._epoch_batch_losses:
+                raise ValueError("iterator produced no batches")
+            epoch_loss = float(np.mean(self._epoch_batch_losses))
+            self.epoch_losses.append(epoch_loss)
+            self._epoch_batch_losses = []
+            self._epoch_iterator = None
+            self.epoch += 1
             if on_epoch_end is not None:
-                on_epoch_end(epoch, loss)
-        return epoch_losses
+                on_epoch_end(self.epoch - 1, epoch_loss)
+        return list(self.epoch_losses)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Everything needed to resume bit-identically (except the model
+        weights, which :class:`repro.nn.module.Module` snapshots): the
+        config echo, step/epoch progress, loss history, the in-flight
+        epoch's batch losses and data-iterator state, and both optimizer
+        states (the schedule is a pure function of ``global_step``)."""
+        if self._epoch_iterator is not None:
+            iterator = self._epoch_iterator.state_dict()
+        else:
+            iterator = copy.deepcopy(self._pending_iterator_state)
+        return {
+            "config": dataclasses.asdict(self.config),
+            "epoch": int(self.epoch),
+            "global_step": int(self.global_step),
+            "loss_history": [float(x) for x in self.loss_history],
+            "epoch_losses": [float(x) for x in self.epoch_losses],
+            "epoch_batch_losses": [
+                float(x) for x in self._epoch_batch_losses
+            ],
+            "iterator": iterator,
+            "dense_opt": self.dense_opt.state_dict(),
+            "sparse_opt": self.sparse_opt.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The trainer must have been constructed with the *same*
+        :class:`TrainConfig` the snapshot was saved under — resuming
+        under a different protocol cannot be bit-identical, so a
+        mismatch is an error rather than a silent drift.
+        """
+        self.validate_state_dict(state)
+        self.dense_opt.load_state_dict(state["dense_opt"])
+        self.sparse_opt.load_state_dict(state["sparse_opt"])
+        self.epoch = int(state["epoch"])
+        self.global_step = int(state["global_step"])
+        self.loss_history = [float(x) for x in state["loss_history"]]
+        self.epoch_losses = [float(x) for x in state["epoch_losses"]]
+        self._epoch_batch_losses = [
+            float(x) for x in state["epoch_batch_losses"]
+        ]
+        self._epoch_iterator = None
+        self._pending_iterator_state = copy.deepcopy(state["iterator"])
+
+    def validate_state_dict(self, state: Dict[str, Any]) -> None:
+        """Check a snapshot fits this trainer without mutating anything
+        (structure, config echo, both optimizer states)."""
+        missing = {
+            "config",
+            "epoch",
+            "global_step",
+            "loss_history",
+            "epoch_losses",
+            "epoch_batch_losses",
+            "iterator",
+            "dense_opt",
+            "sparse_opt",
+        } - set(state)
+        if missing:
+            raise ValueError(
+                f"trainer state missing field(s): {sorted(missing)}"
+            )
+        saved_config = state["config"]
+        own_config = dataclasses.asdict(self.config)
+        if saved_config != own_config:
+            diff = sorted(
+                k
+                for k in set(saved_config) | set(own_config)
+                if saved_config.get(k) != own_config.get(k)
+            )
+            raise ValueError(
+                f"train config mismatch on {diff}: checkpoint saved "
+                f"{ {k: saved_config.get(k) for k in diff} }, trainer has "
+                f"{ {k: own_config.get(k) for k in diff} }"
+            )
+        self.dense_opt.validate_state_dict(state["dense_opt"])
+        self.sparse_opt.validate_state_dict(state["sparse_opt"])
 
     # ------------------------------------------------------------------
     def evaluate(

@@ -108,3 +108,75 @@ def test_faster_generation_never_slower(gen, nbytes):
         model.alltoall(new, nbytes).seconds
         <= model.alltoall(old, nbytes).seconds * 1.001
     )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hosts=st.sampled_from([1, 2, 4, 8]),
+    gpus=st.sampled_from([1, 2, 4, 8]),
+    gen=st.sampled_from(GENS),
+    small=st.integers(0, 1 << 28),
+    extra=st.integers(1, 1 << 28),
+)
+def test_every_collective_monotone_in_bytes(hosts, gpus, gen, small, extra):
+    """Monotonicity holds for *all* primitives, not just AlltoAll:
+    adding payload can never make any collective cheaper."""
+    model = CollectiveCostModel()
+    group = global_group(Cluster(hosts, gpus, gen))
+    for fn in (
+        model.alltoall,
+        model.allreduce,
+        model.reducescatter,
+        model.allgather,
+    ):
+        assert fn(group, small + extra).seconds >= fn(group, small).seconds
+    src, dst = 0, group.world_size - 1
+    assert (
+        model.point_to_point(group, src, dst, small + extra).seconds
+        >= model.point_to_point(group, src, dst, small).seconds
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hosts=st.sampled_from([2, 4, 8]),
+    gpus=st.sampled_from([2, 4, 8]),
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1, 1 << 28),
+    seed=st.integers(0, 2**16),
+)
+def test_point_to_point_payload_symmetry(hosts, gpus, gen, nbytes, seed):
+    """A message's price depends on the payload and the link it
+    crosses, never on which end sent it: p2p(src, dst) == p2p(dst, src)
+    for any pair, same-host or cross-host."""
+    import numpy as np
+
+    cluster = Cluster(hosts, gpus, gen)
+    group = global_group(cluster)
+    rng = np.random.default_rng(seed)
+    src, dst = rng.integers(0, group.world_size, size=2)
+    p2p = CollectiveCostModel().point_to_point
+    a = p2p(group, int(src), int(dst), nbytes)
+    b = p2p(group, int(dst), int(src), nbytes)
+    assert a.seconds == b.seconds
+    assert a.bottleneck == b.bottleneck
+    assert a.nvlink_seconds == b.nvlink_seconds
+    assert a.nic_seconds == b.nic_seconds
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hosts=st.sampled_from([1, 2, 4, 8]),
+    gpus=st.sampled_from([2, 4, 8]),
+    gen=st.sampled_from(GENS),
+    nbytes=st.integers(1, 1 << 26),
+)
+def test_collective_payload_uniformity(hosts, gpus, gen, nbytes):
+    """Collectives take one per-rank payload: the timing object echoes
+    it back unchanged (the convention every caller prices against)."""
+    model = CollectiveCostModel()
+    group = global_group(Cluster(hosts, gpus, gen))
+    for fn in (model.alltoall, model.allreduce, model.reducescatter):
+        timing = fn(group, nbytes)
+        assert timing.bytes_per_rank == nbytes
+        assert timing.world_size == group.world_size

@@ -38,13 +38,14 @@ ALL_IDS = {
     "e2e",
     "scaling",
     "serving",
+    "checkpointing",
 }
 
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
-        assert len(ids) == 19
+        assert len(ids) == 20
         assert ids == ALL_IDS
 
     def test_registry_lazy_imports_drivers(self):

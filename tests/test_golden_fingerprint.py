@@ -1,0 +1,95 @@
+"""Golden end-to-end numeric fingerprint.
+
+One canonical seeded quickstart-sized training run, pinned.  Any
+refactor that silently changes numerics — a reordered reduction, a
+different accumulator, an off-by-one in the shuffle — drifts past the
+tolerance and fails tier-1 immediately instead of going unnoticed.
+
+Two layers of protection:
+
+- the run's loss history + eval AUC are compared against the
+  checked-in ``GOLDEN`` values with a 1e-9 absolute tolerance —
+  strict enough to catch any real numeric change (real changes move
+  losses by orders of magnitude more), loose enough to survive
+  BLAS-kernel summation differences across platforms without hash
+  flakes on rounding boundaries;
+- ``GOLDEN_SHA256`` hashes the golden constants themselves, so the
+  reference cannot be nudged without visibly updating the hash in the
+  same commit.
+
+If you changed training numerics *intentionally*, regenerate
+``GOLDEN`` (print ``trainer.loss_history`` + AUC at 12 decimals) and
+``GOLDEN_SHA256`` together, and say why in the commit message.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.data import SyntheticCriteoConfig, SyntheticCriteoDataset
+from repro.models import DLRM, tiny_table_configs
+from repro.models.configs import DenseArch
+from repro.training import TrainConfig, Trainer
+
+#: 28 batch losses (2 epochs x 14 batches) followed by the eval AUC.
+GOLDEN = [
+    0.814859748944, 0.832260649527, 0.768093025204,
+    0.836067463801, 0.802062148867, 0.797611545500,
+    0.762212805524, 0.745220041930, 0.712145595976,
+    0.737658170452, 0.748025190551, 0.732480671249,
+    0.718049906196, 0.713345265056, 0.690943078952,
+    0.684214989006, 0.679998857409, 0.668332431935,
+    0.694826258555, 0.665996379005, 0.671586238640,
+    0.662489701966, 0.651018522011, 0.652047388983,
+    0.639025324997, 0.647371863074, 0.641454392628,
+    0.643406731511, 0.644959719066,
+]
+GOLDEN_SHA256 = (
+    "1ca201aa3006f04c3637e2c34f487b6a299f6a6718b76a0406085567df5253d5"
+)
+TOLERANCE = 1e-9
+
+
+def _canonical_run(sparse_grad_mode: str = "rowwise"):
+    cfg = SyntheticCriteoConfig(num_dense=4, num_sparse=8, cardinality=32)
+    dense, ids, labels = SyntheticCriteoDataset(cfg, seed=0).sample(
+        1200, seed=1
+    )
+    model = DLRM(
+        4,
+        tiny_table_configs(8, 32, 8),
+        DenseArch(embedding_dim=8, bottom_mlp=(16,), top_mlp=(16,)),
+        rng=np.random.default_rng(7),
+    )
+    trainer = Trainer(
+        model,
+        TrainConfig(
+            batch_size=64, epochs=2, seed=11, sparse_grad_mode=sparse_grad_mode
+        ),
+    )
+    trainer.fit(dense[:900], ids[:900], labels[:900])
+    evaluation = trainer.evaluate(dense[900:], ids[900:], labels[900:])
+    return list(trainer.loss_history) + [evaluation.auc]
+
+
+class TestGoldenFingerprint:
+    def test_golden_constants_are_untampered(self):
+        text = "|".join(f"{x:.12f}" for x in GOLDEN)
+        assert (
+            hashlib.sha256(text.encode()).hexdigest() == GOLDEN_SHA256
+        ), "GOLDEN was edited without updating GOLDEN_SHA256"
+
+    def test_loss_history_matches_golden(self):
+        observed = _canonical_run()
+        assert len(observed) == len(GOLDEN)
+        np.testing.assert_allclose(
+            observed, GOLDEN, atol=TOLERANCE, rtol=0
+        )
+
+    def test_both_sparse_grad_modes_share_the_fingerprint(self):
+        """The rowwise fast path is bit-identical to the dense
+        reference, so one golden sequence pins both."""
+        observed = _canonical_run(sparse_grad_mode="dense")
+        np.testing.assert_allclose(
+            observed, GOLDEN, atol=TOLERANCE, rtol=0
+        )

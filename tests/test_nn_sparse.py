@@ -347,3 +347,106 @@ class TestWarmupDecayRegression:
         assert sched.lr_at(3) == pytest.approx(1.0)
         assert sched.lr_at(8) == pytest.approx(1.0)
         assert sched.lr_at(32) == pytest.approx(0.5)
+
+
+class TestRowwiseGradFuzz:
+    """Seeded property/fuzz coverage: random shapes, duplicate-heavy
+    and empty index sets all match the dense scatter-add reference."""
+
+    @staticmethod
+    def _dense_reference(ids, grad_output, num_rows):
+        """The original materialized scatter-add."""
+        B, P = ids.shape
+        dim = grad_output.shape[1]
+        dense = np.zeros((num_rows, dim))
+        np.add.at(
+            dense, ids.reshape(-1), np.repeat(grad_output, P, axis=0)
+        )
+        return dense
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_from_pooled_matches_dense_reference(self, seed):
+        fuzz = np.random.default_rng(1000 + seed)
+        B = int(fuzz.integers(1, 40))
+        P = int(fuzz.integers(1, 6))
+        dim = int(fuzz.integers(1, 17))
+        # Small id spaces make duplicates the common case, not the
+        # edge case.
+        num_rows = int(fuzz.integers(1, 12 if seed % 2 else 500))
+        ids = fuzz.integers(0, num_rows, size=(B, P))
+        grad = fuzz.standard_normal((B, dim))
+        rg = RowwiseGrad.from_pooled(ids, grad)
+        # Rows strictly increasing and exactly the touched set.
+        assert np.all(np.diff(rg.rows) > 0)
+        np.testing.assert_array_equal(rg.rows, np.unique(ids))
+        reference = self._dense_reference(ids, grad, num_rows)
+        np.testing.assert_array_equal(
+            rg.to_dense((num_rows, dim)), reference
+        )
+        # scatter_into accumulates rather than overwrites.
+        acc = fuzz.standard_normal((num_rows, dim))
+        expect = acc + reference
+        rg.scatter_into(acc)
+        np.testing.assert_array_equal(acc, expect)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_merge_matches_summed_references(self, seed):
+        fuzz = np.random.default_rng(2000 + seed)
+        num_rows = int(fuzz.integers(2, 30))
+        dim = int(fuzz.integers(1, 9))
+        pieces = []
+        total = np.zeros((num_rows, dim))
+        for _ in range(int(fuzz.integers(2, 5))):
+            B = int(fuzz.integers(1, 20))
+            P = int(fuzz.integers(1, 4))
+            ids = fuzz.integers(0, num_rows, size=(B, P))
+            grad = fuzz.standard_normal((B, dim))
+            pieces.append(RowwiseGrad.from_pooled(ids, grad))
+            total += self._dense_reference(ids, grad, num_rows)
+        merged = pieces[0]
+        for piece in pieces[1:]:
+            merged = merged.merge(piece)
+        np.testing.assert_allclose(
+            merged.to_dense((num_rows, dim)), total, atol=1e-12, rtol=0
+        )
+
+    def test_empty_index_set(self):
+        """A zero-sample batch compacts to zero rows and densifies to
+        all-zeros rather than crashing."""
+        ids = np.empty((0, 3), dtype=np.int64)
+        grad = np.empty((0, 4))
+        rg = RowwiseGrad.from_pooled(ids, grad)
+        assert rg.num_rows == 0
+        np.testing.assert_array_equal(
+            rg.to_dense((7, 4)), np.zeros((7, 4))
+        )
+        dense = np.ones((7, 4))
+        rg.scatter_into(dense)
+        np.testing.assert_array_equal(dense, np.ones((7, 4)))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_parameter_grad_densification_matches_reference(self, seed):
+        """Accumulating row-wise grads on a Parameter and then reading
+        ``.grad`` (the densifying escape hatch) equals accumulating the
+        dense references directly — including mixed dense/row-wise."""
+        fuzz = np.random.default_rng(3000 + seed)
+        num_rows = int(fuzz.integers(2, 40))
+        dim = int(fuzz.integers(1, 9))
+        param = Parameter(fuzz.standard_normal((num_rows, dim)), name="t")
+        expect = np.zeros((num_rows, dim))
+        for k in range(int(fuzz.integers(1, 5))):
+            B = int(fuzz.integers(1, 16))
+            P = int(fuzz.integers(1, 4))
+            ids = fuzz.integers(0, num_rows, size=(B, P))
+            grad = fuzz.standard_normal((B, dim))
+            reference = TestRowwiseGradFuzz._dense_reference(
+                ids, grad, num_rows
+            )
+            if k % 3 == 2:
+                param.add_grad(reference)  # force a mixed accumulation
+            else:
+                param.add_row_grad(RowwiseGrad.from_pooled(ids, grad))
+            expect += reference
+        np.testing.assert_allclose(
+            param.grad, expect, atol=1e-12, rtol=0
+        )
