@@ -1,18 +1,26 @@
 #!/usr/bin/env python
-"""Sparse-path benchmark emitter: dense vs rowwise embedding gradients.
+"""Benchmark emitters: perf PRs leave a measured trajectory, not claims.
 
-Times the single-process train step (forward / backward / optimizer
-phases, separately and end-to-end) of a DLRM under both
-``sparse_grad_mode`` settings and writes a ``BENCH_sparse_path.json``
-record — steps/sec and peak transient bytes allocated per step — so
-perf PRs leave a measured trajectory instead of claims.
+Two targets, selected with ``--bench``:
 
-Default (paper-ish) config is the acceptance geometry: 26 tables x
-1M rows x dim 128 at batch 256 (the dense reference rewrites ~26 GB of
-optimizer state per step at this size, so it runs very few steps).
-``--fast`` shrinks everything for CI smoke.
+- ``sparse`` (default) — dense vs rowwise embedding gradients: times
+  the single-process train step (forward / backward / optimizer) of a
+  DLRM under both ``sparse_grad_mode`` settings and writes
+  ``BENCH_sparse_path.json`` (steps/sec, peak transient bytes/step).
+  The paper-ish default is the acceptance geometry: 26 tables x 1M rows
+  x dim 128 at batch 256.
+- ``serving`` — the serving plane: replays a skewed micro-batched
+  trace through the vectorized LRU embedding cache vs the per-key
+  reference walk (cache-lookup throughput in keys/sec and the
+  vectorized-over-reference speedup), then runs the full
+  ``ServingFleet`` replay and records simulated requests/sec plus
+  wall-clock per 100k requests.  Writes ``BENCH_serving.json``.
+  The default 100k-request trace is the acceptance geometry.
 
-Run:  PYTHONPATH=src python benchmarks/run_bench.py [--fast] [--out PATH]
+``--fast`` shrinks either target for CI smoke.
+
+Run:  PYTHONPATH=src python benchmarks/run_bench.py [--bench serving]
+      [--fast] [--out PATH]
 """
 
 from __future__ import annotations
@@ -115,31 +123,147 @@ def bench_mode(args, mode: str) -> dict:
     }
 
 
-def main(argv=None) -> dict:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fast", action="store_true",
-                        help="CI smoke geometry (seconds, not minutes)")
-    parser.add_argument("--tables", type=int, default=None)
-    parser.add_argument("--rows", type=int, default=None)
-    parser.add_argument("--dim", type=int, default=None)
-    parser.add_argument("--batch", type=int, default=256)
-    parser.add_argument("--pooling", type=int, default=1)
-    parser.add_argument("--steps", type=int, default=None,
-                        help="measured steps (per mode)")
-    parser.add_argument("--warmup", type=int, default=None)
-    parser.add_argument("--out", default="BENCH_sparse_path.json")
-    args = parser.parse_args(argv)
+def serving_trace(args):
+    """The acceptance trace: skewed Poisson stream, micro-batched."""
+    from repro.serving import MicroBatcher, RequestStream, WorkloadConfig
 
-    if args.fast:
-        defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)
-    else:
-        # Acceptance geometry; dense rewrites the full ~26 GB optimizer
-        # state each step, so one warmed-up step is all we can afford.
-        defaults = dict(tables=26, rows=1_000_000, dim=128, steps=1, warmup=1)
-    for key, value in defaults.items():
-        if getattr(args, key) is None:
-            setattr(args, key, value)
+    stream = RequestStream(
+        WorkloadConfig(
+            qps=args.qps,
+            num_requests=args.requests,
+            num_lookups=args.lookups,
+            key_space=args.key_space,
+            skew=1.0,
+            seed=0,
+        )
+    )
+    requests = stream.generate()
+    batches = MicroBatcher(args.serve_batch, 0.001).form_batches(requests)
+    return requests, [batch.keys for batch in batches]
 
+
+def bench_serving_cache(args, key_sets) -> dict:
+    """Cache-lookup throughput: vectorized fast path vs reference walk.
+
+    Replays the trace's batch key-sets through ``probe`` (the fused
+    lookup + admit-the-misses the serving loop performs per batch);
+    best-of-``reps`` wall-clock per implementation.
+    """
+    from repro.serving import LRUEmbeddingCache, ReferenceLRUCache
+
+    total_keys = sum(len(keys) for keys in key_sets)
+    out = {}
+    for label, factory in (
+        ("vectorized", LRUEmbeddingCache),
+        ("reference", ReferenceLRUCache),
+    ):
+        best = np.inf
+        for _ in range(args.reps):
+            cache = factory(args.cache_rows)
+            start = time.perf_counter()
+            for keys in key_sets:
+                cache.probe(keys)
+            best = min(best, time.perf_counter() - start)
+        out[label] = {
+            "seconds": best,
+            "keys_per_sec": total_keys / best,
+            "hit_rate": cache.stats.hit_rate,
+        }
+        print(f"  cache [{label}]: {best:.3f}s "
+              f"({total_keys / best / 1e6:.1f} Mkeys/s)", flush=True)
+    out["speedup_vectorized_over_reference"] = (
+        out["reference"]["seconds"] / out["vectorized"]["seconds"]
+    )
+    return out
+
+
+def bench_serving_fleet(args, requests) -> dict:
+    """End-to-end fleet replay: simulated rps + wall-clock/100k reqs."""
+    from repro.hardware import Cluster
+    from repro.serving import (
+        MicroBatcher,
+        Placement,
+        ServingFleet,
+        ServingModel,
+    )
+    from repro.sim import SimCluster
+
+    cluster = Cluster(num_hosts=8, gpus_per_host=4, generation="A100")
+    model = ServingModel(
+        name="dlrm-like",
+        num_lookups=args.lookups,
+        embedding_dim=128,
+        dense_mflops=5.0,
+    )
+    out = {}
+    for router in ("round_robin", "hash", "p2c"):
+        fleet = ServingFleet(
+            SimCluster(cluster),
+            model,
+            Placement("disaggregated", emb_hosts=2),
+            MicroBatcher(args.serve_batch, 0.001),
+            router=router,
+            cache_rows=args.cache_rows,
+        )
+        start = time.perf_counter()
+        report = fleet.serve(requests)
+        wall = time.perf_counter() - start
+        out[router] = {
+            "wall_clock_s": wall,
+            "wall_clock_per_100k_requests_s": wall * 1e5 / len(requests),
+            "simulated_rps": report.fleet.throughput_rps,
+            "replay_requests_per_sec": len(requests) / wall,
+            "p99_ms": report.fleet.latency_ms["p99"],
+            "cache_hit_rate": report.fleet.cache_hit_rate,
+            "load_imbalance": report.load_imbalance,
+        }
+        print(f"  fleet [{router}]: {wall:.2f}s wall "
+              f"({len(requests) / wall / 1e3:.0f}k req/s replayed, "
+              f"simulated {report.fleet.throughput_rps / 1e6:.2f}M rps)",
+              flush=True)
+    return out
+
+
+def bench_serving(args) -> dict:
+    print(f"benchmarking serving path ({args.requests} requests x "
+          f"{args.lookups} lookups, serve batch {args.serve_batch}, "
+          f"cache {args.cache_rows} rows) ...", flush=True)
+    requests, key_sets = serving_trace(args)
+    cache = bench_serving_cache(args, key_sets)
+    fleet = bench_serving_fleet(args, requests)
+    record = {
+        "bench": "serving",
+        "version": BENCH_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "requests": args.requests,
+            "lookups_per_request": args.lookups,
+            "key_space": args.key_space,
+            "serve_batch": args.serve_batch,
+            "cache_rows": args.cache_rows,
+            "qps": args.qps,
+            "fast": bool(args.fast),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {"cache": cache, "fleet": fleet},
+        "speedup_cache_vectorized_over_reference": (
+            cache["speedup_vectorized_over_reference"]
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"cache-lookup speedup (vectorized over reference): "
+          f"{record['speedup_cache_vectorized_over_reference']:.1f}x "
+          f"-> wrote {args.out}")
+    return record
+
+
+def bench_sparse(args) -> dict:
     results = {}
     for mode in ("rowwise", "dense"):
         print(f"benchmarking sparse_grad_mode={mode} "
@@ -183,6 +307,56 @@ def main(argv=None) -> dict:
     print(f"speedup (rowwise over dense): "
           f"{record['speedup_rowwise_over_dense']:.1f}x -> wrote {args.out}")
     return record
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", choices=("sparse", "serving"),
+                        default="sparse")
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke geometry (seconds, not minutes)")
+    parser.add_argument("--tables", type=int, default=None)
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=256)
+    parser.add_argument("--pooling", type=int, default=1)
+    parser.add_argument("--steps", type=int, default=None,
+                        help="measured steps (per mode)")
+    parser.add_argument("--warmup", type=int, default=None)
+    # serving-bench knobs
+    parser.add_argument("--requests", type=int, default=None,
+                        help="serving trace length (default 100k)")
+    parser.add_argument("--lookups", type=int, default=26)
+    parser.add_argument("--key-space", type=int, default=100_000)
+    parser.add_argument("--serve-batch", type=int, default=256)
+    parser.add_argument("--cache-rows", type=int, default=16_384)
+    parser.add_argument("--qps", type=float, default=500_000.0)
+    parser.add_argument("--reps", type=int, default=3,
+                        help="best-of repetitions for cache timings")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+
+    if args.out is None:
+        args.out = (
+            "BENCH_serving.json"
+            if args.bench == "serving"
+            else "BENCH_sparse_path.json"
+        )
+    if args.bench == "serving":
+        if args.requests is None:
+            args.requests = 10_000 if args.fast else 100_000
+        return bench_serving(args)
+
+    if args.fast:
+        defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)
+    else:
+        # Acceptance geometry; dense rewrites the full ~26 GB optimizer
+        # state each step, so one warmed-up step is all we can afford.
+        defaults = dict(tables=26, rows=1_000_000, dim=128, steps=1, warmup=1)
+    for key, value in defaults.items():
+        if getattr(args, key) is None:
+            setattr(args, key, value)
+    return bench_sparse(args)
 
 
 if __name__ == "__main__":

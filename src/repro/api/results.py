@@ -21,7 +21,7 @@ from repro.jsonutil import jsonable
 from repro.partitioner import TPResult
 from repro.perf.iteration_model import IterationBreakdown
 from repro.planner import ShardingPlan
-from repro.serving import ServingModel, ServingReport
+from repro.serving import FleetReport, ServingModel, ServingReport
 from repro.sim.tracing import Timeline
 from repro.training import EvalResult
 
@@ -180,11 +180,18 @@ class PriceArtifact:
 
 @dataclass
 class ServeArtifact:
-    """Serving reports (and their priced timelines) per placement arm."""
+    """Serving reports (and their priced timelines) per placement arm.
+
+    ``reports`` always holds the per-arm aggregate
+    :class:`ServingReport` — for a fleet run that is the fleet-wide
+    aggregate, and the full :class:`~repro.serving.FleetReport` (router,
+    load balance, per-replica reports) sits in ``fleet_reports``.
+    """
 
     model: ServingModel
     reports: Dict[str, ServingReport]
     timelines: Dict[str, Timeline] = field(default_factory=dict)
+    fleet_reports: Dict[str, FleetReport] = field(default_factory=dict)
 
     @property
     def p99_speedup(self) -> Optional[float]:
@@ -204,6 +211,13 @@ class ServeArtifact:
                 for name, report in self.reports.items()
             },
         }
+        if self.fleet_reports:
+            # Fleet detail minus the aggregate (already in placements).
+            out["fleet"] = {}
+            for name, fleet in self.fleet_reports.items():
+                detail = fleet.to_dict()
+                detail.pop("fleet")
+                out["fleet"][name] = detail
         if self.p99_speedup is not None:
             out["p99_speedup_disaggregated"] = float(self.p99_speedup)
         return out
@@ -342,6 +356,13 @@ class RunResult:
                     f"tput={rep['throughput_rps']:.0f}/s "
                     f"cache hit {rep['cache']['hit_rate'] * 100.0:.1f}%"
                 )
+            if "fleet" in sv:
+                for name, detail in sv["fleet"].items():
+                    lines.append(
+                        f"  fleet [{name}]: {detail['num_replicas']} "
+                        f"replicas via {detail['router']}, load imbalance "
+                        f"{detail['load_imbalance']:.2f}"
+                    )
             if "p99_speedup_disaggregated" in sv:
                 lines.append(
                     f"  disaggregated p99 speedup "

@@ -74,6 +74,7 @@ from repro.serving import (
     MicroBatcher,
     Placement,
     RequestStream,
+    ServingFleet,
     ServingModel,
     WorkloadConfig,
 )
@@ -631,6 +632,13 @@ class Session:
                     key_space=serve.key_space,
                     skew=serve.skew,
                     seed=serve.seed,
+                    scenario=serve.scenario,
+                    diurnal_period_s=serve.diurnal_period_s,
+                    diurnal_amplitude=serve.diurnal_amplitude,
+                    flash_start_s=serve.flash_start_s,
+                    flash_duration_s=serve.flash_duration_s,
+                    flash_factor=serve.flash_factor,
+                    churn_keys_per_s=serve.churn_keys_per_s,
                 )
             )
             requests = stream.generate()
@@ -646,28 +654,50 @@ class Session:
                 if ck is not None and ck.warm_start
                 else None
             )
-            reports, timelines = {}, {}
+            reports, timelines, fleet_reports = {}, {}, {}
             for strategy in placements:
                 sim = SimCluster(cluster)
-                service = InferenceService(
-                    sim,
-                    model,
-                    Placement(strategy, emb_hosts=emb_hosts),
-                    MicroBatcher(
-                        serve.max_batch_size,
-                        serve.max_queue_delay_ms * 1e-3,
-                    ),
-                    LRUEmbeddingCache(serve.cache_rows),
+                batcher = MicroBatcher(
+                    serve.max_batch_size,
+                    serve.max_queue_delay_ms * 1e-3,
                 )
+                placement = Placement(strategy, emb_hosts=emb_hosts)
+                if serve.uses_fleet:
+                    server: Any = ServingFleet(
+                        sim,
+                        model,
+                        placement,
+                        batcher,
+                        router=serve.router,
+                        num_replicas=serve.fleet_replicas,
+                        cache_rows=serve.cache_rows,
+                        router_seed=serve.seed,
+                    )
+                else:
+                    server = InferenceService(
+                        sim,
+                        model,
+                        placement,
+                        batcher,
+                        LRUEmbeddingCache(serve.cache_rows),
+                    )
                 if warm_from is not None:
-                    seeded = service.warm_start_from_checkpoint(warm_from)
+                    seeded = server.warm_start_from_checkpoint(warm_from)
                     self._checkpoint_record().warm_start_rows[
                         strategy
                     ] = seeded
-                reports[strategy] = service.serve(requests)
+                outcome = server.serve(requests)
+                if serve.uses_fleet:
+                    fleet_reports[strategy] = outcome
+                    reports[strategy] = outcome.fleet
+                else:
+                    reports[strategy] = outcome
                 timelines[strategy] = sim.timeline
             return ServeArtifact(
-                model=model, reports=reports, timelines=timelines
+                model=model,
+                reports=reports,
+                timelines=timelines,
+                fleet_reports=fleet_reports,
             )
 
         return self._stage("serve", build)

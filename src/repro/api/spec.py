@@ -429,6 +429,12 @@ class TrainSpec(_SpecBase):
 #: Placement arms the serving stage understands ("both" runs the
 #: comparison on one shared request trace).
 SERVE_PLACEMENTS = ("colocated", "disaggregated", "both")
+#: Arrival-process scenarios (mirrors repro.serving.workload.SCENARIOS;
+#: kept literal here so specs stay importable without the serving
+#: stack — a sync test guards the duplication).
+SERVE_SCENARIOS = ("poisson", "diurnal", "flash")
+#: Fleet router policies (mirrors repro.serving.fleet.ROUTER_POLICIES).
+SERVE_ROUTERS = ("round_robin", "hash", "p2c")
 
 
 @dataclass(frozen=True)
@@ -442,6 +448,15 @@ class ServeSpec(_SpecBase):
     request trace under colocated and disaggregated embedding
     placement, which is the comparison the ``serving`` experiment
     reports.
+
+    ``scenario`` shapes the arrival process (stationary Poisson,
+    diurnal sinusoid, or a flash crowd) and ``churn_keys_per_s`` drifts
+    the popularity ranking — both feed straight into
+    :class:`repro.serving.WorkloadConfig`.  Setting ``fleet_replicas``
+    switches the stage from the single :class:`InferenceService` to a
+    :class:`~repro.serving.fleet.ServingFleet` of that many replicas
+    (each with its own ``cache_rows``-row cache and batcher queue),
+    routed by ``router``.
     """
 
     kind: str = "dlrm"  # "dlrm" | "dcn" (profile when nothing is trained)
@@ -455,6 +470,17 @@ class ServeSpec(_SpecBase):
     placement: str = "both"
     emb_hosts: Optional[int] = None  # default: max(1, num_hosts // 4)
     seed: int = 0
+    # Scenario shaping (see repro.serving.workload).
+    scenario: str = "poisson"
+    diurnal_period_s: float = 1.0
+    diurnal_amplitude: float = 0.5
+    flash_start_s: float = 0.0
+    flash_duration_s: float = 0.0
+    flash_factor: float = 5.0
+    churn_keys_per_s: float = 0.0
+    # Fleet serving (None = the single-service path).
+    fleet_replicas: Optional[int] = None
+    router: str = "round_robin"
 
     def __post_init__(self) -> None:
         _require(
@@ -480,6 +506,72 @@ class ServeSpec(_SpecBase):
             self.emb_hosts is None or self.emb_hosts >= 1,
             "emb_hosts must be >= 1 when given",
         )
+        _require(
+            self.scenario in SERVE_SCENARIOS,
+            f"unknown scenario {self.scenario!r}; expected one of "
+            f"{SERVE_SCENARIOS}",
+        )
+        _require(
+            self.diurnal_period_s > 0, "diurnal_period_s must be positive"
+        )
+        _require(
+            0.0 <= self.diurnal_amplitude <= 1.0,
+            f"diurnal_amplitude must be in [0, 1], got "
+            f"{self.diurnal_amplitude}",
+        )
+        _require(
+            self.flash_start_s >= 0 and self.flash_duration_s >= 0,
+            "flash window must be non-negative",
+        )
+        _require(
+            self.flash_factor >= 1.0,
+            f"flash_factor must be >= 1, got {self.flash_factor}",
+        )
+        _require(
+            self.scenario != "flash" or self.flash_duration_s > 0,
+            "scenario 'flash' needs flash_duration_s > 0",
+        )
+        _require(
+            self.churn_keys_per_s >= 0, "churn_keys_per_s must be >= 0"
+        )
+        _require(
+            self.fleet_replicas is None or self.fleet_replicas >= 1,
+            "fleet_replicas must be >= 1 when given",
+        )
+        _require(
+            self.router in SERVE_ROUTERS,
+            f"unknown router {self.router!r}; expected one of "
+            f"{SERVE_ROUTERS}",
+        )
+        # Same invariant as TrainSpec: a stored spec must not pretend
+        # to configure knobs its scenario/stage never reads.
+        defaults = {f.name: f.default for f in fields(type(self))}
+        if self.scenario != "diurnal":
+            for name in ("diurnal_period_s", "diurnal_amplitude"):
+                _require(
+                    getattr(self, name) == defaults[name],
+                    f"{name} has no effect with scenario="
+                    f"{self.scenario!r}; leave it at its default "
+                    f"({defaults[name]!r})",
+                )
+        if self.scenario != "flash":
+            for name in ("flash_start_s", "flash_duration_s", "flash_factor"):
+                _require(
+                    getattr(self, name) == defaults[name],
+                    f"{name} has no effect with scenario="
+                    f"{self.scenario!r}; leave it at its default "
+                    f"({defaults[name]!r})",
+                )
+        if self.fleet_replicas is None:
+            _require(
+                self.router == defaults["router"],
+                "router has no effect without fleet_replicas; leave it "
+                f"at its default ({defaults['router']!r})",
+            )
+
+    @property
+    def uses_fleet(self) -> bool:
+        return self.fleet_replicas is not None
 
     @property
     def serves_disaggregated(self) -> bool:

@@ -39,6 +39,7 @@ DRIVER_MODULES = (
     "e2e",
     "scaling",
     "serving",
+    "serving_fleet",
     "checkpointing",
 )
 

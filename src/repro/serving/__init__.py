@@ -6,43 +6,80 @@ package closes that gap with a discrete-event inference simulator built
 on the same cost-model machinery:
 
 - :mod:`repro.serving.workload` — Poisson request streams with
-  hot-key skew;
+  hot-key skew, plus diurnal / flash-crowd / hot-set-churn scenarios;
 - :mod:`repro.serving.batcher` — dynamic micro-batching
   (flush-on-full / flush-on-deadline);
 - :mod:`repro.serving.cache` — LRU embedding cache with hit-rate
-  accounting;
+  accounting (vectorized fast path + reference implementation);
 - :mod:`repro.serving.service` — the :class:`InferenceService` that
   prices each served batch through
   :class:`~repro.comm.cost_model.CollectiveCostModel` on a
   :class:`~repro.sim.SimCluster` and reports p50/p95/p99 latency,
   sustained throughput, and per-phase timeline breakdowns for
-  colocated vs disaggregated embedding placement.
+  colocated vs disaggregated embedding placement;
+- :mod:`repro.serving.fleet` — the :class:`ServingFleet`: N replicas,
+  each with its own batcher and cache, fed by a pluggable router
+  (round-robin / consistent-hash / power-of-two-choices) on the same
+  priced cluster.
 """
 
 from repro.serving.batcher import MicroBatch, MicroBatcher
-from repro.serving.cache import CacheStats, LRUEmbeddingCache
+from repro.serving.cache import (
+    CacheStats,
+    LRUEmbeddingCache,
+    ReferenceLRUCache,
+)
+from repro.serving.fleet import (
+    ConsistentHashRouter,
+    FleetReport,
+    PowerOfTwoChoicesRouter,
+    ROUTER_POLICIES,
+    RoundRobinRouter,
+    Router,
+    ServingFleet,
+    make_router,
+)
 from repro.serving.service import (
     ID_WIRE_BYTES,
     InferenceService,
     PLACEMENT_STRATEGIES,
     Placement,
+    PlacementEngine,
     ServingModel,
     ServingReport,
+    build_report,
 )
-from repro.serving.workload import Request, RequestStream, WorkloadConfig
+from repro.serving.workload import (
+    Request,
+    RequestStream,
+    SCENARIOS,
+    WorkloadConfig,
+)
 
 __all__ = [
     "Request",
     "RequestStream",
     "WorkloadConfig",
+    "SCENARIOS",
     "MicroBatch",
     "MicroBatcher",
     "CacheStats",
     "LRUEmbeddingCache",
+    "ReferenceLRUCache",
     "ServingModel",
     "Placement",
+    "PlacementEngine",
     "InferenceService",
     "ServingReport",
+    "build_report",
+    "ServingFleet",
+    "FleetReport",
+    "Router",
+    "RoundRobinRouter",
+    "ConsistentHashRouter",
+    "PowerOfTwoChoicesRouter",
+    "make_router",
+    "ROUTER_POLICIES",
     "PLACEMENT_STRATEGIES",
     "ID_WIRE_BYTES",
 ]

@@ -13,7 +13,12 @@ whichever comes first of
 
 This is an offline replay over a complete arrival trace, so the
 deadline flush needs no timer machinery: a batch whose deadline passes
-before the next arrival simply closes at its deadline.
+before the next arrival simply closes at its deadline.  The deadline
+is exclusive — a batch opened at ``t`` accepts arrivals in
+``[t, t + max_delay_s)``, and a request landing exactly on the
+deadline starts the next batch (the timer has already fired).  With
+``max_delay_s=0`` this degrades to no batching at all: every request
+is served as a singleton, even under simultaneous arrivals.
 """
 
 from __future__ import annotations
@@ -89,8 +94,13 @@ class MicroBatcher:
         pending: List[Request] = []
         deadline = 0.0
         for req in ordered:
-            if pending and req.arrival_s > deadline:
-                # Deadline passed before this arrival: flush-on-deadline.
+            if pending and req.arrival_s >= deadline:
+                # Deadline fired at or before this arrival:
+                # flush-on-deadline.  The boundary is exclusive — an
+                # arrival exactly on the deadline must not join a batch
+                # that already closed (with max_delay_s=0 the old
+                # strict compare glued simultaneous arrivals into one
+                # never-delayed batch).
                 batches.append(MicroBatch(tuple(pending), ready_s=deadline))
                 pending = []
             if not pending:

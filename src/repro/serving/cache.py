@@ -8,6 +8,19 @@ embedding row ids with hit/miss counters.  It stores no vectors — the
 serving simulator only needs *which* rows must cross the network, not
 their values.
 
+Two implementations share the same contract and produce **identical**
+hit/miss/eviction accounting on any trace:
+
+- :class:`LRUEmbeddingCache` — the default.  Recency lives in a dense
+  stamp table indexed by row id plus a stamp-ordered lazy-deletion
+  queue, so a whole batch is probed, touched, admitted, and evicted in
+  a handful of vectorized numpy operations — no Python-level loop over
+  keys.  This is what lets the serving simulator replay 100k+ request
+  traces.
+- :class:`ReferenceLRUCache` — the original per-key ``OrderedDict``
+  walk, kept as the executable specification the fast path is fuzzed
+  against.
+
 A ``capacity_rows`` of 0 disables caching (every lookup misses and
 nothing is admitted), which is the natural control arm for cache
 experiments.
@@ -38,22 +51,34 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
-class LRUEmbeddingCache:
-    """Least-recently-used set of embedding row ids.
+_INT32_MAX = np.iinfo(np.int32).max
 
-    Examples
-    --------
-    >>> import numpy as np
-    >>> cache = LRUEmbeddingCache(capacity_rows=2)
-    >>> hits, misses = cache.lookup(np.array([1, 2]))
-    >>> hits, list(misses)
-    (0, [1, 2])
-    >>> cache.admit(misses)
-    >>> cache.lookup(np.array([2, 3]))[0]  # 2 hits, 3 misses
-    1
-    >>> cache.stats.hit_rate
-    0.25
+
+def _dedup_sorted(arr: np.ndarray) -> np.ndarray:
+    """Sorted unique ids of a 1-D int64 array.
+
+    Same result as ``np.unique`` without its hashing pass; large
+    batches sort through int32 when every id fits (row ids always do),
+    which is measurably faster.  This is the hottest line of the
+    serving replay.
     """
+    if arr.size <= 1:
+        return arr
+    compact = False
+    if arr.size >= 1024 and arr.max() <= _INT32_MAX:
+        # callers validate non-negativity, so int32 is safe
+        arr = arr.astype(np.int32)
+        compact = True
+    ordered = np.sort(arr)
+    keep = np.empty(arr.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    unique = ordered[keep]
+    return unique.astype(np.int64) if compact else unique
+
+
+class _LRUCacheBase:
+    """Shared contract: counters, warm-start seeding, validation."""
 
     def __init__(self, capacity_rows: int):
         if capacity_rows < 0:
@@ -61,16 +86,83 @@ class LRUEmbeddingCache:
                 f"capacity_rows must be >= 0, got {capacity_rows}"
             )
         self.capacity_rows = capacity_rows
-        self._rows: "OrderedDict[int, None]" = OrderedDict()
         self._hits = 0
         self._misses = 0
 
-    def __len__(self) -> int:
-        return len(self._rows)
+    @staticmethod
+    def _as_ids(keys: np.ndarray) -> np.ndarray:
+        """Flatten to int64 row ids, rejecting negatives — both
+        implementations enforce the same domain on every operation."""
+        arr = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if arr.size and arr.min() < 0:
+            raise ValueError("embedding row ids must be non-negative")
+        return arr
 
     @property
     def stats(self) -> CacheStats:
         return CacheStats(hits=self._hits, misses=self._misses)
+
+    def lookup(self, keys: np.ndarray) -> Tuple[int, np.ndarray]:
+        raise NotImplementedError
+
+    def admit(self, keys: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def contents(self) -> np.ndarray:
+        """Cached ids in LRU -> MRU order (eviction order)."""
+        raise NotImplementedError
+
+    def probe(self, keys: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Fused :meth:`lookup` + admit-the-misses.
+
+        Exactly equivalent to ``hits, misses = lookup(keys)`` followed
+        by ``admit(misses)`` — the sequence every served batch
+        performs.  Subclasses may override it with a single-pass
+        implementation; the accounting must stay identical.
+        """
+        hits, misses = self.lookup(keys)
+        self.admit(misses)
+        return hits, misses
+
+    def prefill(self, keys: np.ndarray) -> int:
+        """Warm-start: seed rows without touching hit/miss accounting.
+
+        ``keys`` are expected hottest-first (the order
+        :func:`repro.checkpoint.hottest_rows` produces); they are
+        admitted in reverse so the hottest rows end up most-recently
+        used and are evicted last.  Duplicates are dropped
+        (order-preservingly, first occurrence wins) *before* truncating
+        to ``capacity_rows``, so the return value is the number of rows
+        actually inserted — a duplicated key neither wastes a capacity
+        slot nor inflates the count.
+        """
+        flat = self._as_ids(keys)
+        if self.capacity_rows == 0:
+            return 0
+        _, first = np.unique(flat, return_index=True)
+        kept = flat[np.sort(first)][: self.capacity_rows]
+        self.admit(kept[::-1])
+        return len(kept)
+
+
+class ReferenceLRUCache(_LRUCacheBase):
+    """Least-recently-used set of embedding row ids (reference walk).
+
+    The per-key ``OrderedDict`` implementation: simple, obviously
+    correct, and a Python-level operation per key.  Kept as the
+    behavioural specification for :class:`LRUEmbeddingCache`, which
+    must reproduce its accounting bit-for-bit.
+    """
+
+    def __init__(self, capacity_rows: int):
+        super().__init__(capacity_rows)
+        self._rows: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def contents(self) -> np.ndarray:
+        return np.fromiter(self._rows, dtype=np.int64, count=len(self._rows))
 
     # ------------------------------------------------------------------
     def lookup(self, keys: np.ndarray) -> Tuple[int, np.ndarray]:
@@ -78,12 +170,12 @@ class LRUEmbeddingCache:
 
         Duplicate ids within the batch are deduplicated first — a
         served batch fetches each distinct row once.  Hits are touched
-        (moved to most-recent); misses are returned for the caller to
-        fetch and then :meth:`admit`.
+        (moved to most-recent, in ascending id order); misses are
+        returned for the caller to fetch and then :meth:`admit`.
 
         Returns ``(num_hits, miss_keys)``.
         """
-        unique = np.unique(np.asarray(keys, dtype=np.int64))
+        unique = np.unique(self._as_ids(keys))
         if self.capacity_rows == 0:
             self._misses += len(unique)
             return 0, unique
@@ -101,27 +193,217 @@ class LRUEmbeddingCache:
 
     def admit(self, keys: np.ndarray) -> None:
         """Insert fetched rows, evicting least-recently-used overflow."""
+        keys = self._as_ids(keys)
         if self.capacity_rows == 0:
             return
-        for key in np.asarray(keys, dtype=np.int64).tolist():
+        for key in keys.tolist():
             self._rows[key] = None
             self._rows.move_to_end(key)
         while len(self._rows) > self.capacity_rows:
             self._rows.popitem(last=False)
 
-    def prefill(self, keys: np.ndarray) -> int:
-        """Warm-start: seed rows without touching hit/miss accounting.
 
-        ``keys`` are expected hottest-first (the order
-        :func:`repro.checkpoint.hottest_rows` produces); they are
-        admitted in reverse so the hottest rows end up most-recently
-        used and are evicted last.  Only the first ``capacity_rows``
-        keys fit; returns how many were seeded.
+class LRUEmbeddingCache(_LRUCacheBase):
+    """Vectorized least-recently-used set of embedding row ids.
+
+    Recency is a logical clock: every touch assigns the next stamp.
+    Two structures carry it, both amortized O(1) per key with all the
+    work in whole-batch numpy operations:
+
+    - a **dense stamp table** indexed by row id (``-1`` = not cached),
+      grown geometrically to the largest id seen — ids are embedding
+      row indices, so the table is bounded by the table cardinality;
+    - a **stamp-ordered lazy-deletion queue** of ``(id, stamp)``
+      appends.  An entry is current iff its stamp still matches the
+      table; eviction pops current entries from the front (the exact
+      LRU order), and stale entries are dropped on the way.  The queue
+      compacts itself when it fills, so total work stays linear in the
+      number of touches.
+
+    The accounting is bit-identical to :class:`ReferenceLRUCache`:
+    lookups dedupe the batch and touch hits in ascending id order,
+    admits stamp each id by its last occurrence in the admit order, and
+    eviction drops lowest stamps first.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> cache = LRUEmbeddingCache(capacity_rows=2)
+    >>> hits, misses = cache.lookup(np.array([1, 2]))
+    >>> hits, misses.tolist()
+    (0, [1, 2])
+    >>> cache.admit(misses)
+    >>> cache.lookup(np.array([2, 3]))[0]  # 2 hits, 3 misses
+    1
+    >>> cache.stats.hit_rate
+    0.25
+    """
+
+    def __init__(self, capacity_rows: int):
+        super().__init__(capacity_rows)
+        self._stamp_of = np.full(1024, -1, dtype=np.int64)
+        self._size = 0
+        self._clock = 0
+        self._log_keys = np.empty(4096, dtype=np.int64)
+        self._log_stamps = np.empty(4096, dtype=np.int64)
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def contents(self) -> np.ndarray:
+        alive = np.flatnonzero(self._stamp_of >= 0)
+        return alive[np.argsort(self._stamp_of[alive])]
+
+    # ------------------------------------------------------------------
+    def _grow_table(self, max_key: int) -> None:
+        if max_key >= len(self._stamp_of):
+            grown = np.full(
+                max(2 * len(self._stamp_of), max_key + 1), -1, dtype=np.int64
+            )
+            grown[: len(self._stamp_of)] = self._stamp_of
+            self._stamp_of = grown
+
+    def _append_log(self, keys: np.ndarray, stamps: np.ndarray) -> None:
+        n = len(keys)
+        if self._tail + n > len(self._log_keys):
+            self._compact_log(n)
+        self._log_keys[self._tail : self._tail + n] = keys
+        self._log_stamps[self._tail : self._tail + n] = stamps
+        self._tail += n
+
+    def _compact_log(self, incoming: int) -> None:
+        """Drop stale queue entries; regrow with generous slack.
+
+        Compaction copies every alive entry (~capacity of them), so its
+        amortized cost is governed by how much free space it leaves:
+        8x slack makes the per-touch cost approach one queue append.
         """
+        keys = self._log_keys[self._head : self._tail]
+        stamps = self._log_stamps[self._head : self._tail]
+        current = self._stamp_of[keys] == stamps
+        keys, stamps = keys[current], stamps[current]
+        room = max(4096, 8 * (len(keys) + incoming))
+        if room > len(self._log_keys) or len(keys) + incoming > len(
+            self._log_keys
+        ):
+            self._log_keys = np.empty(room, dtype=np.int64)
+            self._log_stamps = np.empty(room, dtype=np.int64)
+        self._log_keys[: len(keys)] = keys
+        self._log_stamps[: len(stamps)] = stamps
+        self._head = 0
+        self._tail = len(keys)
+
+    def _evict(self, count: int) -> None:
+        """Drop the ``count`` least-recently-stamped cached ids."""
+        while count > 0:
+            chunk = min(max(256, 2 * count), self._tail - self._head)
+            keys = self._log_keys[self._head : self._head + chunk]
+            stamps = self._log_stamps[self._head : self._head + chunk]
+            current = np.flatnonzero(self._stamp_of[keys] == stamps)
+            if len(current) <= count:
+                victims = keys[current]
+                self._head += chunk
+            else:
+                # The batch straddles the quota: stop at the count-th
+                # current entry.
+                victims = keys[current[:count]]
+                self._head += int(current[count - 1]) + 1
+            self._stamp_of[victims] = -1
+            self._size -= len(victims)
+            count -= len(victims)
+
+    # ------------------------------------------------------------------
+    def lookup(self, keys: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Probe the cache with a batch of row ids.
+
+        Duplicate ids within the batch are deduplicated first — a
+        served batch fetches each distinct row once.  Hits are touched
+        (moved to most-recent, in ascending id order); misses are
+        returned for the caller to fetch and then :meth:`admit`.
+
+        Returns ``(num_hits, miss_keys)``.
+        """
+        arr = self._as_ids(keys)
+        if arr.size == 0:
+            return 0, arr
+        unique = _dedup_sorted(arr)
         if self.capacity_rows == 0:
-            return 0
-        kept = np.asarray(keys, dtype=np.int64).reshape(-1)[
-            : self.capacity_rows
-        ]
-        self.admit(kept[::-1])
-        return len(kept)
+            self._misses += len(unique)
+            return 0, unique
+        self._grow_table(int(unique[-1]))
+        present = self._stamp_of[unique] >= 0
+        num_hits = int(np.count_nonzero(present))
+        if num_hits:
+            hit_keys = unique[present]
+            stamps = self._clock + np.arange(num_hits)
+            self._clock += num_hits
+            self._stamp_of[hit_keys] = stamps
+            self._append_log(hit_keys, stamps)
+        misses = unique[~present]
+        self._hits += num_hits
+        self._misses += len(misses)
+        return num_hits, misses
+
+    def admit(self, keys: np.ndarray) -> None:
+        """Insert fetched rows, evicting least-recently-used overflow."""
+        arr = self._as_ids(keys)
+        if self.capacity_rows == 0 or arr.size == 0:
+            return
+        if arr.size == 1 or bool(np.all(arr[1:] > arr[:-1])):
+            # Already strictly increasing — the lookup()-misses fast
+            # path; positional order is last-occurrence order.
+            ordered = arr
+            max_key = int(arr[-1])
+        else:
+            # A key admitted twice in one batch ends most-recent at its
+            # *last* occurrence; order the unique keys by it.
+            rev_unique, first_in_reversed = np.unique(
+                arr[::-1], return_index=True
+            )
+            last_pos = arr.size - 1 - first_in_reversed
+            ordered = rev_unique[np.argsort(last_pos)]
+            max_key = int(rev_unique[-1])
+        stamps = self._clock + np.arange(len(ordered))
+        self._clock += arr.size
+        self._grow_table(max_key)
+        self._size += int(np.count_nonzero(self._stamp_of[ordered] < 0))
+        self._stamp_of[ordered] = stamps
+        self._append_log(ordered, stamps)
+        if self._size > self.capacity_rows:
+            self._evict(self._size - self.capacity_rows)
+
+    def probe(self, keys: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Fused lookup + admit-the-misses: one dedup, one table probe,
+        one stamp write, one queue append.  Accounting-identical to the
+        two-call sequence (the reference's stamp order is hits in
+        ascending id order, then admitted misses in ascending id
+        order — exactly what one consecutive stamp range over
+        ``[hit_keys, miss_keys]`` produces)."""
+        arr = self._as_ids(keys)
+        if arr.size == 0:
+            return 0, arr
+        unique = _dedup_sorted(arr)
+        if self.capacity_rows == 0:
+            self._misses += len(unique)
+            return 0, unique
+        self._grow_table(int(unique[-1]))
+        present = self._stamp_of[unique] >= 0
+        hit_keys = unique[present]
+        misses = unique[~present]
+        num_hits, num_misses = hit_keys.size, misses.size
+        if num_hits and num_misses:
+            touched = np.concatenate([hit_keys, misses])
+        else:
+            touched = hit_keys if num_misses == 0 else misses
+        stamps = self._clock + np.arange(num_hits + num_misses)
+        self._clock += num_hits + num_misses
+        self._stamp_of[touched] = stamps
+        self._append_log(touched, stamps)
+        self._size += num_misses
+        self._hits += num_hits
+        self._misses += num_misses
+        if self._size > self.capacity_rows:
+            self._evict(self._size - self.capacity_rows)
+        return int(num_hits), misses

@@ -1,0 +1,415 @@
+"""Multi-replica serving: a routed fleet priced on one shared cluster.
+
+The single :class:`~repro.serving.service.InferenceService` answers the
+placement question for one replica pool with a shared cache.  A real
+serving tier is a **fleet**: N replicas, each owning its own
+micro-batcher and LRU embedding cache, fed by a front-end router
+(DisaggRec's provisioning setting, arXiv:2212.00939).  The router
+policy decides everything the cache story depends on — which replica's
+cache learns which keys, and how evenly bursts spread:
+
+- **round_robin** — perfect spread, zero affinity: every replica's
+  cache must learn the whole hot set;
+- **hash** — consistent hashing on the request's primary key
+  (``keys[0]``), so traffic for the same entity lands on the same
+  replica and the fleet's caches partition the hot set between them;
+- **p2c** — power-of-two-choices on instantaneous queue depth (the
+  number of requests still inside their batching window): near-optimal
+  burst spreading with only two probes per request.
+
+Every replica's batches are priced through the shared
+:class:`~repro.serving.service.PlacementEngine` on one
+:class:`~repro.sim.SimCluster` — the fetch tier (global fabric when
+colocated, the embedding hosts when disaggregated) is a fleet-wide
+shared resource, which is exactly what makes the placement comparison
+interesting under load.  :meth:`ServingFleet.serve` returns a
+:class:`FleetReport`: one aggregate :class:`ServingReport` plus one per
+replica that served traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import LRUEmbeddingCache, _LRUCacheBase
+from repro.serving.service import (
+    Placement,
+    PlacementEngine,
+    ServingModel,
+    ServingReport,
+    build_report,
+)
+from repro.serving.workload import Request
+from repro.sim.cluster import SimCluster
+
+#: Router policies the fleet understands.
+ROUTER_POLICIES = ("round_robin", "hash", "p2c")
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer: a stable, seed-independent
+    integer hash (Python's ``hash`` is identity on ints — useless for
+    ring placement)."""
+    x = np.asarray(x).astype(np.uint64)
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+class Router:
+    """Assigns every request of a trace to a replica.
+
+    Stateful policies re-seed in :meth:`bind`, so routing the same
+    trace twice gives the same assignment — fleet runs stay
+    bit-reproducible.
+    """
+
+    name = "base"
+
+    def bind(self, num_replicas: int) -> None:
+        if num_replicas < 1:
+            raise ValueError(
+                f"num_replicas must be >= 1, got {num_replicas}"
+            )
+        self.num_replicas = num_replicas
+        self._reset()
+
+    def _reset(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def route_trace(
+        self, requests: Sequence[Request], window_s: float
+    ) -> np.ndarray:
+        """Replica index per request (requests are in arrival order);
+        ``window_s`` is the batching window used for queue-depth
+        estimates."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in request order."""
+
+    name = "round_robin"
+
+    def route_trace(
+        self, requests: Sequence[Request], window_s: float
+    ) -> np.ndarray:
+        return np.arange(len(requests)) % self.num_replicas
+
+
+class ConsistentHashRouter(Router):
+    """Consistent hashing on the request's primary key (``keys[0]``).
+
+    Each replica owns ``vnodes`` points on a hash ring; a request walks
+    clockwise from the hash of its primary key to the next point.  The
+    same entity always lands on the same replica (cache affinity), and
+    changing the fleet size moves only ~1/N of the key space.
+    """
+
+    name = "hash"
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+
+    def _reset(self) -> None:
+        replicas = np.repeat(
+            np.arange(self.num_replicas, dtype=np.int64), self.vnodes
+        )
+        salts = np.tile(
+            np.arange(self.vnodes, dtype=np.int64), self.num_replicas
+        )
+        points = _splitmix64(
+            replicas.astype(np.uint64) * np.uint64(0x51_7C_C1_B7_27_22_0A_95)
+            + salts.astype(np.uint64)
+        )
+        order = np.argsort(points, kind="stable")
+        self._ring_points = points[order]
+        self._ring_replicas = replicas[order]
+
+    def route_trace(
+        self, requests: Sequence[Request], window_s: float
+    ) -> np.ndarray:
+        primary = np.fromiter(
+            (req.keys[0] for req in requests),
+            dtype=np.int64,
+            count=len(requests),
+        )
+        slots = np.searchsorted(self._ring_points, _splitmix64(primary))
+        slots[slots == len(self._ring_points)] = 0  # wrap around the ring
+        return self._ring_replicas[slots]
+
+
+class PowerOfTwoChoicesRouter(Router):
+    """Power-of-two-choices on queue depth.
+
+    For each request, sample two distinct replicas (seeded, so the
+    trace routes identically every run) and pick the one with fewer
+    requests still inside their batching window — the classic
+    load-balancing result: two choices remove almost all of random
+    routing's queue imbalance.  With a zero batching window every depth
+    reads 0 and the policy degrades to seeded random routing.
+    """
+
+    name = "p2c"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def route_trace(
+        self, requests: Sequence[Request], window_s: float
+    ) -> np.ndarray:
+        n, num = len(requests), self.num_replicas
+        if num == 1:
+            return np.zeros(n, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        first = rng.integers(0, num, size=n)
+        second = (first + 1 + rng.integers(0, num - 1, size=n)) % num
+        assignment = np.empty(n, dtype=np.int64)
+        windows: List[deque] = [deque() for _ in range(num)]
+        for i, req in enumerate(requests):
+            now = req.arrival_s
+            a, b = int(first[i]), int(second[i])
+            for q in (windows[a], windows[b]):
+                while q and q[0] <= now - window_s:
+                    q.popleft()
+            chosen = a if len(windows[a]) <= len(windows[b]) else b
+            windows[chosen].append(now)
+            assignment[i] = chosen
+        return assignment
+
+
+def make_router(policy: str, seed: int = 0) -> Router:
+    """A fresh router for a named policy."""
+    if policy == "round_robin":
+        return RoundRobinRouter()
+    if policy == "hash":
+        return ConsistentHashRouter()
+    if policy == "p2c":
+        return PowerOfTwoChoicesRouter(seed)
+    raise ValueError(
+        f"unknown router policy {policy!r}; expected one of "
+        f"{ROUTER_POLICIES}"
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class FleetReport:
+    """Outcome of one fleet-served trace: the aggregate plus the
+    replicas that saw traffic."""
+
+    router: str
+    num_replicas: int
+    fleet: ServingReport
+    replicas: Dict[int, ServingReport]
+    requests_per_replica: List[int]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean requests per replica (1.0 = perfectly even,
+        counting idle replicas)."""
+        counts = np.asarray(self.requests_per_replica, dtype=np.float64)
+        return float(counts.max() / counts.mean())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "router": self.router,
+            "num_replicas": self.num_replicas,
+            "load_imbalance": self.load_imbalance,
+            "requests_per_replica": list(self.requests_per_replica),
+            "fleet": self.fleet.to_dict(),
+            "replicas": {
+                str(idx): report.to_dict()
+                for idx, report in self.replicas.items()
+            },
+        }
+
+
+class ServingFleet:
+    """N serving replicas, each owning a batcher queue and an LRU
+    embedding cache, priced on one shared :class:`SimCluster`.
+
+    ``num_replicas`` defaults to one replica per dense host (the
+    :class:`~repro.serving.service.InferenceService` notion); more
+    replicas than dense hosts time-share host GPUs, so each replica's
+    dense forward slows by the oversubscription factor.  The fetch path
+    — global fabric or embedding tier per the placement — is shared by
+    the whole fleet.
+    """
+
+    def __init__(
+        self,
+        sim: SimCluster,
+        model: ServingModel,
+        placement: Placement,
+        batcher: MicroBatcher,
+        router: "Router | str" = "round_robin",
+        num_replicas: Optional[int] = None,
+        cache_rows: int = 0,
+        cache_factory: Optional[Callable[[], _LRUCacheBase]] = None,
+        router_seed: int = 0,
+    ):
+        self.engine = PlacementEngine(sim, model, placement)
+        self.num_replicas = (
+            num_replicas
+            if num_replicas is not None
+            else self.engine.num_dense_hosts
+        )
+        if self.num_replicas < 1:
+            raise ValueError(
+                f"num_replicas must be >= 1, got {self.num_replicas}"
+            )
+        self.sim = sim
+        self.model = model
+        self.placement = placement
+        self.batcher = batcher
+        self.router = router if isinstance(router, Router) else make_router(
+            router, seed=router_seed
+        )
+        factory = cache_factory or (lambda: LRUEmbeddingCache(cache_rows))
+        self.caches: List[_LRUCacheBase] = [
+            factory() for _ in range(self.num_replicas)
+        ]
+        # Replicas beyond the dense hosts time-share their GPUs.
+        self.host_share = min(
+            1.0, self.engine.num_dense_hosts / self.num_replicas
+        )
+
+    # ------------------------------------------------------------------
+    def warm_start_from_checkpoint(
+        self, path: str, max_rows: Optional[int] = None
+    ) -> int:
+        """Prefill every replica's cache from the checkpoint's hottest
+        saved rows (each replica may see any key, so each gets the
+        same hottest-first seed).  Returns total rows seeded."""
+        limit = max(cache.capacity_rows for cache in self.caches)
+        if max_rows is not None:
+            limit = min(limit, max_rows)
+        if limit <= 0:
+            return 0
+        from repro.checkpoint.state import hottest_rows
+
+        rows = hottest_rows(path, limit)
+        return sum(cache.prefill(rows) for cache in self.caches)
+
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[Request]) -> FleetReport:
+        """Route, batch, and price the trace; returns the fleet report."""
+        if not requests:
+            raise ValueError("cannot serve an empty request trace")
+        ordered = sorted(requests, key=lambda r: r.arrival_s)
+        self.router.bind(self.num_replicas)
+        assignment = self.router.route_trace(
+            ordered, self.batcher.max_delay_s
+        )
+        per_replica: List[List[Request]] = [
+            [] for _ in range(self.num_replicas)
+        ]
+        for req, rep in zip(ordered, assignment):
+            per_replica[int(rep)].append(req)
+
+        tagged = []
+        for rep, reqs in enumerate(per_replica):
+            if reqs:
+                tagged.extend(
+                    (batch.ready_s, rep, batch)
+                    for batch in self.batcher.form_batches(reqs)
+                )
+        # One global event order over the shared fetch tier.
+        tagged.sort(key=lambda item: (item[0], item[1]))
+
+        num = self.num_replicas
+        replica_free = np.zeros(num)
+        fetch_free = np.zeros(self.engine.num_fetch_servers)
+        timeline = self.sim.timeline
+        events_before = len(timeline.events)
+        stats_before = [cache.stats for cache in self.caches]
+        latencies: List[List[float]] = [[] for _ in range(num)]
+        batch_counts = [0] * num
+        # Same shape convention as the timeline-derived breakdowns: a
+        # phase key exists only if the replica recorded an event for it.
+        phase_ms: List[Dict[str, float]] = [{} for _ in range(num)]
+        strategy = self.placement.strategy
+        for ready, rep, batch in tagged:
+            start = max(ready, float(replica_free[rep]))
+            hits, miss_keys = self.caches[rep].probe(batch.keys)
+            done, t_fetch, t_compute, t_queue = self.engine.price_batch(
+                batch,
+                start,
+                fetch_free,
+                hits,
+                len(miss_keys),
+                host_share=self.host_share,
+                label_suffix=f"/replica{rep}",
+            )
+            mine = phase_ms[rep]
+            if len(miss_keys):
+                mine["embedding_comm"] = (
+                    mine.get("embedding_comm", 0.0) + t_fetch * 1e3
+                )
+            mine["compute"] = mine.get("compute", 0.0) + t_compute * 1e3
+            mine["queue"] = mine.get("queue", 0.0) + t_queue * 1e3
+            replica_free[rep] = done
+            batch_counts[rep] += 1
+            latencies[rep].extend(
+                done - req.arrival_s for req in batch.requests
+            )
+
+        replica_reports: Dict[int, ServingReport] = {}
+        for rep in range(num):
+            if not per_replica[rep]:
+                continue
+            stats = self.caches[rep].stats
+            replica_reports[rep] = build_report(
+                placement=strategy,
+                model=self.model.name,
+                requests=per_replica[rep],
+                num_batches=batch_counts[rep],
+                latencies_s=np.asarray(latencies[rep]),
+                last_done_s=float(replica_free[rep]),
+                hits=stats.hits - stats_before[rep].hits,
+                misses=stats.misses - stats_before[rep].misses,
+                breakdown_ms=phase_ms[rep],
+            )
+
+        breakdown: Dict[str, float] = {}
+        for event in timeline.events[events_before:]:
+            breakdown[event.phase.value] = (
+                breakdown.get(event.phase.value, 0.0) + event.seconds * 1e3
+            )
+        total_hits = sum(
+            self.caches[rep].stats.hits - stats_before[rep].hits
+            for rep in range(num)
+        )
+        total_misses = sum(
+            self.caches[rep].stats.misses - stats_before[rep].misses
+            for rep in range(num)
+        )
+        fleet = build_report(
+            placement=strategy,
+            model=self.model.name,
+            requests=ordered,
+            num_batches=len(tagged),
+            latencies_s=np.concatenate(
+                [np.asarray(lat) for lat in latencies if lat]
+            ),
+            last_done_s=float(replica_free.max()),
+            hits=total_hits,
+            misses=total_misses,
+            breakdown_ms=breakdown,
+        )
+        return FleetReport(
+            router=self.router.name,
+            num_replicas=num,
+            fleet=fleet,
+            replicas=replica_reports,
+            requests_per_replica=[len(reqs) for reqs in per_replica],
+        )

@@ -15,9 +15,18 @@ arXiv:2212.00939):
 - **disaggregated** — the first ``emb_hosts`` hosts form a dedicated
   embedding tier; the remaining hosts serve dense traffic.  A batch's
   cache misses are fetched with a scatter/gather priced as one
-  cross-host point-to-point transfer (ids up, rows down, single launch
-  latency), and the tier's hosts serve fetches in parallel — embedding
-  capacity scales independently of dense capacity.
+  cross-host point-to-point transfer, and the tier's hosts serve
+  fetches in parallel — embedding capacity scales independently of
+  dense capacity.
+
+Both placements price the same two wire legs per miss row — the id
+going up to the shard owner (``ID_WIRE_BYTES``) and the embedding row
+coming back — so the comparison between them is purely topological,
+not an accounting artifact.
+
+The placement-derived cost terms live in :class:`PlacementEngine`, so
+the single-service replay here and the multi-replica
+:class:`~repro.serving.fleet.ServingFleet` price batches identically.
 
 Every batch appends to the service's :class:`~repro.sim.Timeline`
 (``QUEUE`` = batching + queueing wait, ``EMBEDDING_COMM`` = priced
@@ -30,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -115,6 +124,144 @@ class Placement:
             raise ValueError(f"emb_hosts must be >= 1, got {self.emb_hosts}")
 
 
+class PlacementEngine:
+    """Placement-derived cost terms for served batches on a cluster.
+
+    Owns the topology bookkeeping (dense hosts vs embedding tier, the
+    representative cross-tier rank pair, the global process group) and
+    prices the three per-batch terms: the miss-row fetch, the dense
+    forward, and the cached-row HBM reads.
+    :class:`InferenceService` and
+    :class:`~repro.serving.fleet.ServingFleet` share one implementation
+    so a replica fleet is priced exactly like the single service.
+    """
+
+    def __init__(
+        self, sim: SimCluster, model: ServingModel, placement: Placement
+    ):
+        cluster = sim.cluster
+        if placement.strategy == "disaggregated":
+            if placement.emb_hosts >= cluster.num_hosts:
+                raise ValueError(
+                    f"disaggregated placement needs at least one dense "
+                    f"host: emb_hosts={placement.emb_hosts} on a "
+                    f"{cluster.num_hosts}-host cluster"
+                )
+            self.num_dense_hosts = cluster.num_hosts - placement.emb_hosts
+            self.num_fetch_servers = placement.emb_hosts
+            # Representative cross-tier pair for point-to-point pricing.
+            self._fetch_src = cluster.ranks_on_host(0)[0]
+            self._fetch_dst = cluster.ranks_on_host(placement.emb_hosts)[0]
+        else:
+            self.num_dense_hosts = cluster.num_hosts
+            self.num_fetch_servers = 1  # the shared global fabric
+            self._fetch_src = self._fetch_dst = 0
+        self.sim = sim
+        self.model = model
+        self.placement = placement
+        self.world = global_group(cluster)
+
+    def fetch_timing(self, num_miss_rows: int) -> Tuple[float, int, int]:
+        """Price moving ``num_miss_rows`` embedding rows to a replica.
+
+        Both placements move the same payload per miss row — the row id
+        up to the shard owner plus the embedding row back down — so the
+        two arms differ only in *how* the fabric carries it, never in
+        how much is billed.
+
+        Returns ``(seconds, priced_nbytes, world)`` where
+        ``priced_nbytes`` is the per-rank payload handed to the cost
+        model — the same number the timeline event records, per the
+        byte-accounting convention in :mod:`repro.sim.cluster`.
+        """
+        nbytes = num_miss_rows * (self.model.row_bytes + ID_WIRE_BYTES)
+        if self.placement.strategy == "colocated":
+            # Rows are striped over every rank's shard: a global
+            # AlltoAll whose per-rank payload is the striped share of
+            # both legs.
+            per_rank = max(1, math.ceil(nbytes / self.world.world_size))
+            timing = self.sim.cost_model.alltoall(self.world, per_rank)
+            return timing.seconds, per_rank, self.world.world_size
+        # Disaggregated: ids up + rows down across the tier boundary,
+        # one launch latency.  The replica's GPUs each pull their slice
+        # of the batch over their own NIC, so the scatter/gather is
+        # bounded by the slowest of those parallel cross-host streams.
+        streams = self.sim.cluster.gpus_per_host
+        per_stream = max(1, math.ceil(nbytes / streams))
+        timing = self.sim.cost_model.point_to_point(
+            self.world, self._fetch_src, self._fetch_dst, per_stream
+        )
+        return timing.seconds, per_stream, 2
+
+    def dense_seconds(self, batch_size: int, host_share: float = 1.0) -> float:
+        """Forward scoring on one replica owning ``host_share`` of a
+        dense host's GPUs (all of them for the single-service case)."""
+        spec = self.sim.cluster.spec
+        flops = self.model.dense_mflops * 1e6 * batch_size
+        gpus = self.sim.cluster.gpus_per_host * host_share
+        return flops / (spec.effective_flops * gpus)
+
+    def hit_read_seconds(self, num_hit_rows: int) -> float:
+        """Cached rows still cross HBM once (read + concat write)."""
+        spec = self.sim.cluster.spec
+        return 2.0 * num_hit_rows * self.model.row_bytes / spec.hbm_bytes_per_s
+
+    def price_batch(
+        self,
+        batch: Any,
+        start_s: float,
+        fetch_free: np.ndarray,
+        num_hits: int,
+        num_misses: int,
+        host_share: float = 1.0,
+        label_suffix: str = "",
+    ) -> Tuple[float, float, float, float]:
+        """Price one served batch and append its timeline events.
+
+        This is the whole per-batch replay step shared by the single
+        service and every fleet replica — one implementation, so a
+        pricing change (like this PR's id-leg fix) can never drift
+        between them.  ``start_s`` is when the owning replica picks the
+        batch up; ``fetch_free`` (mutated) holds the shared fetch
+        servers' busy-until times.
+
+        Returns ``(done_s, fetch_s, compute_s, queue_s)`` — the batch
+        completion time and the per-phase seconds just recorded
+        (``fetch_s`` is 0.0 on an all-hit batch, which also emits no
+        EMBEDDING_COMM event).
+        """
+        timeline = self.sim.timeline
+        if num_misses:
+            server = int(np.argmin(fetch_free))
+            fetch_start = max(start_s, float(fetch_free[server]))
+            t_fetch, priced_nbytes, fetch_world = self.fetch_timing(
+                num_misses
+            )
+            fetch_end = fetch_start + t_fetch
+            fetch_free[server] = fetch_end
+            timeline.add(
+                Phase.EMBEDDING_COMM,
+                f"fetch/{self.placement.strategy}{label_suffix}",
+                t_fetch,
+                nbytes=priced_nbytes,
+                world_size=fetch_world,
+            )
+        else:
+            t_fetch = 0.0
+            fetch_start = fetch_end = start_s
+        t_dense = self.dense_seconds(batch.size, host_share)
+        t_hit = self.hit_read_seconds(num_hits)
+        timeline.add(
+            Phase.COMPUTE,
+            f"dense forward{label_suffix}",
+            t_dense + t_hit,
+            flops=int(self.model.dense_mflops * 1e6 * batch.size),
+        )
+        t_queue = batch.batching_delay_s() + (fetch_start - batch.ready_s)
+        timeline.add(Phase.QUEUE, "batching+queueing", t_queue)
+        return fetch_end + t_dense + t_hit, t_fetch, t_dense + t_hit, t_queue
+
+
 @dataclass
 class ServingReport:
     """Outcome of one served trace."""
@@ -162,6 +309,51 @@ class ServingReport:
         )
 
 
+def build_report(
+    placement: str,
+    model: str,
+    requests: Sequence[Request],
+    num_batches: int,
+    latencies_s: np.ndarray,
+    last_done_s: float,
+    hits: int,
+    misses: int,
+    breakdown_ms: Dict[str, float],
+) -> ServingReport:
+    """Assemble a :class:`ServingReport` from replay raw material.
+
+    Shared by the single service and the fleet (per replica and
+    aggregate), so every report computes percentiles, throughput, and
+    offered load the same way.
+    """
+    arrivals = [r.arrival_s for r in requests]
+    span = max(arrivals) - min(arrivals)
+    offered = (len(requests) - 1) / span if span > 0 else None
+    makespan = last_done_s - min(arrivals)
+    lat = np.asarray(latencies_s) * 1e3
+    return ServingReport(
+        placement=placement,
+        model=model,
+        num_requests=len(requests),
+        num_batches=num_batches,
+        mean_batch_size=len(requests) / num_batches,
+        offered_qps=None if offered is None else float(offered),
+        throughput_rps=float(len(requests) / makespan),
+        makespan_s=float(makespan),
+        latency_ms={
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+            "p99": float(np.percentile(lat, 99)),
+            "mean": float(lat.mean()),
+            "max": float(lat.max()),
+        },
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+        breakdown_ms=breakdown_ms,
+    )
+
+
 class InferenceService:
     """Serves a request trace on a :class:`SimCluster`, pricing every
     batch through the collective cost model.
@@ -179,70 +371,27 @@ class InferenceService:
         batcher: MicroBatcher,
         cache: Optional[LRUEmbeddingCache] = None,
     ):
-        cluster = sim.cluster
-        if placement.strategy == "disaggregated":
-            if placement.emb_hosts >= cluster.num_hosts:
-                raise ValueError(
-                    f"disaggregated placement needs at least one dense "
-                    f"host: emb_hosts={placement.emb_hosts} on a "
-                    f"{cluster.num_hosts}-host cluster"
-                )
-            self.num_replicas = cluster.num_hosts - placement.emb_hosts
-            self.num_fetch_servers = placement.emb_hosts
-            # Representative cross-tier pair for point-to-point pricing.
-            self._fetch_src = cluster.ranks_on_host(0)[0]
-            self._fetch_dst = cluster.ranks_on_host(placement.emb_hosts)[0]
-        else:
-            self.num_replicas = cluster.num_hosts
-            self.num_fetch_servers = 1  # the shared global fabric
-            self._fetch_src = self._fetch_dst = 0
+        self.engine = PlacementEngine(sim, model, placement)
+        self.num_replicas = self.engine.num_dense_hosts
+        self.num_fetch_servers = self.engine.num_fetch_servers
         self.sim = sim
         self.model = model
         self.placement = placement
         self.batcher = batcher
         self.cache = cache if cache is not None else LRUEmbeddingCache(0)
-        self._world = global_group(cluster)
+        self._world = self.engine.world
 
     # ------------------------------------------------------------------
-    # Per-batch cost terms
+    # Per-batch cost terms (delegated to the shared engine)
     # ------------------------------------------------------------------
-    def _fetch_timing(self, num_miss_rows: int) -> "tuple[float, int, int]":
-        """Price moving ``num_miss_rows`` embedding rows to the replica.
-
-        Returns ``(seconds, priced_nbytes, world)`` where
-        ``priced_nbytes`` is the per-rank payload handed to the cost
-        model — the same number the timeline event records, per the
-        byte-accounting convention in :mod:`repro.sim.cluster`.
-        """
-        row_bytes = num_miss_rows * self.model.row_bytes
-        if self.placement.strategy == "colocated":
-            # Rows are striped over every rank's shard: a global
-            # AlltoAll whose per-rank payload is the striped share.
-            per_rank = max(1, math.ceil(row_bytes / self._world.world_size))
-            timing = self.sim.cost_model.alltoall(self._world, per_rank)
-            return timing.seconds, per_rank, self._world.world_size
-        # Disaggregated: ids up + rows down across the tier boundary,
-        # one launch latency.  The replica's GPUs each pull their slice
-        # of the batch over their own NIC, so the scatter/gather is
-        # bounded by the slowest of those parallel cross-host streams.
-        nbytes = row_bytes + num_miss_rows * ID_WIRE_BYTES
-        streams = self.sim.cluster.gpus_per_host
-        per_stream = max(1, math.ceil(nbytes / streams))
-        timing = self.sim.cost_model.point_to_point(
-            self._world, self._fetch_src, self._fetch_dst, per_stream
-        )
-        return timing.seconds, per_stream, 2
+    def _fetch_timing(self, num_miss_rows: int) -> Tuple[float, int, int]:
+        return self.engine.fetch_timing(num_miss_rows)
 
     def _dense_seconds(self, batch_size: int) -> float:
-        """Forward scoring on one replica (all its GPUs share the batch)."""
-        spec = self.sim.cluster.spec
-        flops = self.model.dense_mflops * 1e6 * batch_size
-        return flops / (spec.effective_flops * self.sim.cluster.gpus_per_host)
+        return self.engine.dense_seconds(batch_size)
 
     def _hit_read_seconds(self, num_hit_rows: int) -> float:
-        """Cached rows still cross HBM once (read + concat write)."""
-        spec = self.sim.cluster.spec
-        return 2.0 * num_hit_rows * self.model.row_bytes / spec.hbm_bytes_per_s
+        return self.engine.hit_read_seconds(num_hit_rows)
 
     # ------------------------------------------------------------------
     def warm_start_from_checkpoint(
@@ -285,74 +434,28 @@ class InferenceService:
         for batch in batches:
             replica = int(np.argmin(replica_free))
             start = max(batch.ready_s, float(replica_free[replica]))
-            hits, miss_keys = self.cache.lookup(batch.keys)
-            if len(miss_keys):
-                server = int(np.argmin(fetch_free))
-                fetch_start = max(start, float(fetch_free[server]))
-                t_fetch, priced_nbytes, fetch_world = self._fetch_timing(
-                    len(miss_keys)
-                )
-                fetch_end = fetch_start + t_fetch
-                fetch_free[server] = fetch_end
-                self.cache.admit(miss_keys)
-                timeline.add(
-                    Phase.EMBEDDING_COMM,
-                    f"fetch/{self.placement.strategy}",
-                    t_fetch,
-                    nbytes=priced_nbytes,
-                    world_size=fetch_world,
-                )
-            else:
-                fetch_start = fetch_end = start
-            t_dense = self._dense_seconds(batch.size)
-            t_hit = self._hit_read_seconds(hits)
-            dense_flops = int(self.model.dense_mflops * 1e6 * batch.size)
-            timeline.add(
-                Phase.COMPUTE,
-                "dense forward",
-                t_dense + t_hit,
-                flops=dense_flops,
+            hits, miss_keys = self.cache.probe(batch.keys)
+            done, _, _, _ = self.engine.price_batch(
+                batch, start, fetch_free, hits, len(miss_keys)
             )
-            timeline.add(
-                Phase.QUEUE,
-                "batching+queueing",
-                batch.batching_delay_s() + (fetch_start - batch.ready_s),
-            )
-            done = fetch_end + t_dense + t_hit
             replica_free[replica] = done
             last_done = max(last_done, done)
             latencies.extend(done - r.arrival_s for r in batch.requests)
 
-        arrivals = [r.arrival_s for r in requests]
-        span = max(arrivals) - min(arrivals)
-        offered = (len(requests) - 1) / span if span > 0 else None
-        makespan = last_done - min(arrivals)
-        lat = np.asarray(latencies) * 1e3
-        hits = self.cache.stats.hits - stats_before.hits
-        misses = self.cache.stats.misses - stats_before.misses
+        stats_now = self.cache.stats
         breakdown: Dict[str, float] = {}
         for event in timeline.events[events_before:]:
             breakdown[event.phase.value] = (
                 breakdown.get(event.phase.value, 0.0) + event.seconds * 1e3
             )
-        return ServingReport(
+        return build_report(
             placement=self.placement.strategy,
             model=self.model.name,
-            num_requests=len(requests),
+            requests=requests,
             num_batches=len(batches),
-            mean_batch_size=len(requests) / len(batches),
-            offered_qps=None if offered is None else float(offered),
-            throughput_rps=float(len(requests) / makespan),
-            makespan_s=float(makespan),
-            latency_ms={
-                "p50": float(np.percentile(lat, 50)),
-                "p95": float(np.percentile(lat, 95)),
-                "p99": float(np.percentile(lat, 99)),
-                "mean": float(lat.mean()),
-                "max": float(lat.max()),
-            },
-            cache_hits=hits,
-            cache_misses=misses,
-            cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            latencies_s=np.asarray(latencies),
+            last_done_s=last_done,
+            hits=stats_now.hits - stats_before.hits,
+            misses=stats_now.misses - stats_before.misses,
             breakdown_ms=breakdown,
         )

@@ -38,6 +38,7 @@ ALL_IDS = {
     "e2e",
     "scaling",
     "serving",
+    "serving_fleet",
     "checkpointing",
 }
 
@@ -45,7 +46,7 @@ ALL_IDS = {
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
-        assert len(ids) == 20
+        assert len(ids) == 21
         assert ids == ALL_IDS
 
     def test_registry_lazy_imports_drivers(self):
@@ -143,6 +144,7 @@ class TestLightExperiments:
             "scaling",
             "e2e",
             "serving",
+            "serving_fleet",
         ],
     )
     def test_runs_and_produces_body(self, exp_id):
@@ -158,6 +160,27 @@ class TestLightExperiments:
         coloc = result.data["high_qps"]["placements"]["colocated"]
         assert 0.0 < coloc["cache"]["hit_rate"] < 1.0
         assert "embedding_comm" in coloc["breakdown_ms"]
+
+    def test_serving_fleet_headline(self):
+        """Hash routing's affinity concentrates the flash crowd on the
+        hot replica; depth-aware p2c spreads it like round-robin."""
+        result = get_experiment("serving_fleet")(fast=True)
+        static = result.data["static"]
+
+        def p99(router):
+            return static[router]["placements"]["disaggregated"][
+                "latency_ms"
+            ]["p99"]
+
+        assert p99("hash") > 1.2 * p99("round_robin")
+        assert p99("p2c") < 1.1 * p99("round_robin")
+        imb = static["hash"]["fleet"]["disaggregated"]["load_imbalance"]
+        assert imb > 1.5
+        # churn makes every fleet's caches re-learn the hot set
+        hit = lambda arm: result.data[arm]["round_robin"]["placements"][
+            "disaggregated"
+        ]["cache"]["hit_rate"]
+        assert hit("churn") < hit("static")
 
     def test_figure10_headline(self):
         result = get_experiment("figure10")(fast=True)

@@ -11,6 +11,7 @@ from repro.serving import (
     MicroBatch,
     MicroBatcher,
     Placement,
+    ReferenceLRUCache,
     Request,
     RequestStream,
     ServingModel,
@@ -100,6 +101,23 @@ class TestMicroBatcher:
         assert [b.size for b in batches] == [1, 1, 1]
         assert all(b.ready_s == b.requests[0].arrival_s for b in batches)
 
+    def test_zero_delay_identical_arrivals_stay_singletons(self):
+        """Regression: with max_delay_s=0 a request arriving exactly at
+        the (already expired) deadline used to join the previous batch,
+        so simultaneous arrivals glued into one never-delayed batch."""
+        reqs = [req(i, 0.005) for i in range(3)]
+        batches = MicroBatcher(max_batch_size=8, max_delay_s=0.0).form_batches(reqs)
+        assert [b.size for b in batches] == [1, 1, 1]
+        assert all(b.ready_s == 0.005 for b in batches)
+
+    def test_arrival_exactly_on_deadline_starts_next_batch(self):
+        """The deadline is exclusive: the batch accepts [t, t+delay)."""
+        reqs = [req(0, 0.000), req(1, 0.005), req(2, 0.0099)]
+        batches = MicroBatcher(max_batch_size=8, max_delay_s=0.005).form_batches(reqs)
+        assert [b.size for b in batches] == [1, 2]
+        assert batches[0].ready_s == pytest.approx(0.005)
+        assert batches[1].ready_s == pytest.approx(0.010)
+
     def test_no_request_lost_or_duplicated(self):
         stream = RequestStream(WorkloadConfig(qps=2000.0, num_requests=333, seed=5))
         reqs = stream.generate()
@@ -141,6 +159,118 @@ class TestLRUCache:
         cache.admit(misses)
         hits, _ = cache.lookup(np.array([1, 2]))
         assert hits == 0 and len(cache) == 0
+
+    def test_prefill_duplicates_neither_counted_nor_seated_twice(self):
+        """Regression: prefill used to report len(first-capacity-slice)
+        even when duplicate keys collapsed into fewer inserted rows."""
+        for cls in (LRUEmbeddingCache, ReferenceLRUCache):
+            cache = cls(capacity_rows=4)
+            assert cache.prefill(np.array([5, 5, 3, 5, 3])) == 2
+            assert len(cache) == 2
+            hits, misses = cache.lookup(np.array([3, 5, 9]))
+            assert hits == 2 and list(misses) == [9]
+
+    def test_prefill_dedupes_before_truncating_to_capacity(self):
+        """A duplicated hot key must not push a distinct key out of the
+        capacity window."""
+        for cls in (LRUEmbeddingCache, ReferenceLRUCache):
+            cache = cls(capacity_rows=2)
+            assert cache.prefill(np.array([7, 7, 8, 9])) == 2
+            hits, misses = cache.lookup(np.array([7, 8, 9]))
+            assert hits == 2 and list(misses) == [9]
+
+    def test_prefill_keeps_hottest_rows_most_recent(self):
+        for cls in (LRUEmbeddingCache, ReferenceLRUCache):
+            cache = cls(capacity_rows=2)
+            cache.prefill(np.array([10, 11]))  # hottest-first order
+            cache.admit(np.array([12]))  # evicts the coldest: 11
+            hits, misses = cache.lookup(np.array([10, 11, 12]))
+            assert hits == 2 and list(misses) == [11]
+
+    def test_probe_equals_lookup_then_admit(self):
+        trace = [
+            np.array([1, 2, 3]),
+            np.array([2, 3, 4, 4]),
+            np.array([1, 5]),
+        ]
+        split, fused = LRUEmbeddingCache(3), LRUEmbeddingCache(3)
+        for keys in trace:
+            hits, misses = split.lookup(keys)
+            split.admit(misses)
+            fused_hits, fused_misses = fused.probe(keys)
+            assert fused_hits == hits
+            assert np.array_equal(fused_misses, misses)
+        assert split.stats == fused.stats
+        assert np.array_equal(split.contents(), fused.contents())
+
+    @pytest.mark.parametrize("capacity", [0, 4])
+    def test_negative_row_ids_rejected_everywhere(self, capacity):
+        """Both implementations enforce the same id domain on every
+        operation (including the capacity-0 control arm), so a corrupt
+        trace fails identically whichever backs the service."""
+        for cls in (LRUEmbeddingCache, ReferenceLRUCache):
+            cache = cls(capacity)
+            for op in (cache.lookup, cache.admit, cache.probe,
+                       cache.prefill):
+                with pytest.raises(ValueError, match="non-negative"):
+                    op(np.array([3, -1]))
+
+    def test_vectorized_matches_reference_fuzz(self):
+        """Acceptance: the numpy fast path reproduces the OrderedDict
+        reference's hit/miss/eviction accounting bit-for-bit under
+        random capacities and dup-heavy batches."""
+        rng = np.random.default_rng(123)
+        for _ in range(60):
+            capacity = int(rng.integers(0, 24))
+            fast, ref = (
+                LRUEmbeddingCache(capacity),
+                ReferenceLRUCache(capacity),
+            )
+            for _ in range(40):
+                op = int(rng.integers(0, 4))
+                # a small key universe makes batches duplicate-heavy
+                keys = rng.integers(0, 30, size=int(rng.integers(0, 16)))
+                if op == 0:
+                    got, want = fast.lookup(keys), ref.lookup(keys)
+                    assert got[0] == want[0]
+                    assert np.array_equal(got[1], want[1])
+                elif op == 1:
+                    fast.admit(keys)
+                    ref.admit(keys)
+                elif op == 2:
+                    assert fast.prefill(keys) == ref.prefill(keys)
+                else:
+                    got, want = fast.probe(keys), ref.probe(keys)
+                    assert got[0] == want[0]
+                    assert np.array_equal(got[1], want[1])
+                assert len(fast) == len(ref)
+                assert np.array_equal(fast.contents(), ref.contents())
+                assert fast.stats == ref.stats
+
+    def test_vectorized_matches_reference_on_served_trace(self):
+        """The whole serving report — latencies, breakdowns, cache
+        accounting — is identical whichever implementation backs the
+        service."""
+        reqs = RequestStream(
+            WorkloadConfig(
+                qps=30_000.0, num_requests=1200, num_lookups=6,
+                key_space=800, skew=1.1, seed=9,
+            )
+        ).generate()
+        reports = {}
+        for cls in (LRUEmbeddingCache, ReferenceLRUCache):
+            sim = SimCluster(Cluster(4, 2, "A100"))
+            svc = InferenceService(
+                sim,
+                tiny_model(),
+                Placement("disaggregated", emb_hosts=1),
+                MicroBatcher(16, 0.001),
+                cls(256),
+            )
+            reports[cls.__name__] = svc.serve(reqs).to_dict()
+        assert (
+            reports["LRUEmbeddingCache"] == reports["ReferenceLRUCache"]
+        )
 
     def test_hit_rate_monotone_in_skew(self):
         """Hotter traffic -> better LRU hit rate (the FlexEMR premise)."""
@@ -258,6 +388,42 @@ class TestInferenceService:
             repriced = svc.sim.cost_model.alltoall(svc._world, event.nbytes)
             assert event.seconds == pytest.approx(repriced.seconds)
             assert event.world_size == svc._world.world_size
+
+    def test_fetch_prices_id_and_row_legs_symmetrically(self):
+        """Regression: the colocated arm used to bill only the row leg
+        (disaggregated billed ids + rows), skewing the placement
+        comparison toward colocated.  Both arms must price
+        row_bytes + ID_WIRE_BYTES per miss row."""
+        import math
+
+        model = tiny_model()
+        reqs = self._trace(n=300)
+        first_misses = len(
+            np.unique(
+                MicroBatcher(16, 0.001).form_batches(reqs)[0].keys
+            )
+        )
+        per_miss = model.row_bytes + ID_WIRE_BYTES
+        svc_c = make_service("colocated", model=model)
+        svc_c.serve(reqs)
+        event = next(
+            e for e in svc_c.sim.timeline.events
+            if e.phase is Phase.EMBEDDING_COMM
+        )
+        world = svc_c._world.world_size
+        assert event.nbytes == max(
+            1, math.ceil(first_misses * per_miss / world)
+        )
+        svc_d = make_service("disaggregated", model=model)
+        svc_d.serve(reqs)
+        event_d = next(
+            e for e in svc_d.sim.timeline.events
+            if e.phase is Phase.EMBEDDING_COMM
+        )
+        streams = svc_d.sim.cluster.gpus_per_host
+        assert event_d.nbytes == max(
+            1, math.ceil(first_misses * per_miss / streams)
+        )
 
     def test_cache_shrinks_fetch_traffic(self):
         svc_cached = make_service("disaggregated", cache_rows=1024)
