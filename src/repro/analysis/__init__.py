@@ -1,0 +1,57 @@
+"""repro.analysis — static analysis for the reproduction.
+
+Two layers, one :class:`Diagnostic` currency:
+
+- **repro-lint** (:mod:`repro.analysis.lint` + ``.rules``): an AST lint
+  engine for the repo's own invariants — seeded RNG only, simulated
+  time only, no float ``==``, no mutable defaults, no dead spec knobs,
+  no set-iteration-order dependence, honest ``__all__``, no bare
+  ``except``.  Run as ``python -m repro.analysis src`` or the
+  ``repro-lint`` console script.
+- **spec checking** (:mod:`repro.analysis.speccheck`): plan-time static
+  validation of :class:`~repro.api.spec.RunSpec`s — symbolic
+  shape/capacity propagation with no execution, surfacing
+  misconfigurations (shard-capacity overflow, degenerate splits,
+  contradictory serving knobs) before any stage runs.  Wired into
+  :meth:`repro.api.Session.analyze` and ``dmt-repro analyze``.
+
+The invariants themselves are documented in ``docs/invariants.md``.
+"""
+
+from repro.analysis.diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    count_by_severity,
+    diagnostics_from_json,
+    diagnostics_to_json,
+)
+from repro.analysis.lint import (
+    LintRule,
+    lint_paths,
+    lint_source,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.speccheck import (
+    SpecAnalysisError,
+    analyze_spec,
+    registered_checks,
+    spec_check,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "LintRule",
+    "SpecAnalysisError",
+    "analyze_spec",
+    "count_by_severity",
+    "diagnostics_from_json",
+    "diagnostics_to_json",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "registered_checks",
+    "registered_rules",
+    "spec_check",
+]

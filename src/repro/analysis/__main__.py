@@ -1,0 +1,8 @@
+"""``python -m repro.analysis [paths...]`` — run repro-lint."""
+
+import sys
+
+from repro.analysis.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

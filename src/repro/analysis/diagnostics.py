@@ -1,0 +1,112 @@
+"""The shared diagnostic currency of :mod:`repro.analysis`.
+
+Both analysis layers — the AST linter over the codebase and the
+plan-time static validator over :class:`~repro.api.spec.RunSpec`
+config graphs — report findings as :class:`Diagnostic` values: one
+severity, one stable code, a location, a message, and a fix hint.
+Keeping a single type means one renderer, one JSON schema for CI
+artifacts, and one contract for tests that pin diagnostic codes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "count_by_severity",
+    "diagnostics_to_json",
+    "diagnostics_from_json",
+]
+
+#: Ordered worst-first; ``error`` fails CI and :meth:`Session.analyze`.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a lint rule or a spec check.
+
+    ``code`` is the stable, test-pinnable identifier (e.g.
+    ``unseeded-rng`` or ``shard-capacity-overflow``); ``source`` names
+    the layer that produced it (``lint`` or ``spec``).  ``path`` and
+    ``line`` locate lint findings in a file; spec findings carry the
+    offending spec section path (e.g. ``serve.cache_rows``) in
+    ``path`` and no line.
+    """
+
+    severity: str
+    code: str
+    message: str
+    path: Optional[str] = None
+    line: Optional[int] = None
+    hint: Optional[str] = None
+    source: str = "lint"
+    data: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got "
+                f"{self.severity!r}"
+            )
+        if not self.code:
+            raise ValueError("diagnostic code must be non-empty")
+
+    @property
+    def location(self) -> str:
+        """``path:line`` (or whatever part of it is known)."""
+        if self.path is None:
+            return "<spec>"
+        return self.path if self.line is None else f"{self.path}:{self.line}"
+
+    def format(self) -> str:
+        """The human rendering: ``path:line: severity[code] message``."""
+        text = f"{self.location}: {self.severity}[{self.code}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = asdict(self)
+        return {k: v for k, v in out.items() if v not in (None, {})}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Diagnostic":
+        known = {
+            "severity", "code", "message", "path", "line", "hint",
+            "source", "data",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown Diagnostic field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diag in diagnostics:
+        counts[diag.severity] += 1
+    return counts
+
+
+def diagnostics_to_json(
+    diagnostics: Iterable[Diagnostic], indent: int = 2
+) -> str:
+    """A JSON array of diagnostics (the CI artifact format)."""
+    return json.dumps([d.to_dict() for d in diagnostics], indent=indent)
+
+
+def diagnostics_from_json(text: str) -> List[Diagnostic]:
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError(
+            f"expected a JSON array of diagnostics, got {type(data).__name__}"
+        )
+    return [Diagnostic.from_dict(entry) for entry in data]

@@ -1,0 +1,406 @@
+"""``repro-lint``: a tiny AST lint engine for the repo's own invariants.
+
+Generic style is ruff's job (see ``[tool.ruff]`` in pyproject.toml).
+This engine exists for the rules no off-the-shelf linter knows: the
+determinism and simulated-time invariants the reproduction's
+credibility rests on (see ``docs/invariants.md``).  Rules live in
+:mod:`repro.analysis.rules` and register themselves against this
+module's registry; each produces :class:`~repro.analysis.diagnostics.
+Diagnostic` values with stable codes.
+
+Suppressions are per-line and must carry a justification (the scanner
+reads raw lines, so the placeholders below are deliberate — a concrete
+example in this docstring would register as a real marker)::
+
+    start = time.time()  # repro-lint: disable=<rule-code> -- <why this is intentional>
+
+A marker on a comment-only line applies to the next code line.  A
+suppression without a ``-- reason`` tail, or one that suppresses
+nothing, is itself a violation (``unjustified-suppression`` /
+``unused-suppression``) — so the lint run enforces that every escape
+hatch is explained and still needed.
+
+Run it as ``python -m repro.analysis src`` or via the ``repro-lint``
+console script; ``--format json`` emits the CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    count_by_severity,
+    diagnostics_to_json,
+)
+
+__all__ = [
+    "LintRule",
+    "ModuleUnderLint",
+    "register_rule",
+    "registered_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,-]+)(?:\s+--\s+(\S.*))?"
+)
+
+
+@dataclass
+class _Suppression:
+    """One ``# repro-lint: disable=...`` marker in a file."""
+
+    line: int  # the code line the marker governs
+    marker_line: int  # where the comment physically lives
+    codes: Set[str]
+    reason: Optional[str]
+    used: bool = False
+
+
+@dataclass
+class ModuleUnderLint:
+    """One parsed file, shared by every rule that inspects it."""
+
+    path: str  # as given on the command line / test
+    display_path: str  # normalized, for diagnostics
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: List[_Suppression] = field(default_factory=list)
+
+    @property
+    def is_init(self) -> bool:
+        return os.path.basename(self.path) == "__init__.py"
+
+    @property
+    def package_path(self) -> str:
+        """The path with platform separators normalized to ``/``."""
+        return self.display_path.replace(os.sep, "/")
+
+
+class LintRule:
+    """Base class: one stable ``code``, one ``check_*`` entry point.
+
+    Per-file rules implement :meth:`check_module`; whole-tree rules
+    (cross-file reasoning) implement :meth:`check_project`.  Both yield
+    ``(line, message)`` or ``(line, message, hint_override)`` tuples —
+    the engine stamps code/severity/path and applies suppressions.
+    """
+
+    code: str = ""
+    summary: str = ""
+    hint: str = ""
+    severity: str = "error"
+    #: Per-file rules run once per module; project rules once per run.
+    project_rule: bool = False
+
+    def check_module(
+        self, mod: ModuleUnderLint
+    ) -> Iterable[Tuple[int, str]]:
+        return ()
+
+    def check_project(
+        self, mods: Sequence[ModuleUnderLint]
+    ) -> Iterable[Tuple[ModuleUnderLint, int, str]]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"{cls.__name__} must define a code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate lint rule code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[LintRule]]:
+    """code -> rule class for every registered rule (import-complete)."""
+    # Importing the rules module populates the registry exactly once.
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# File collection and parsing
+# ----------------------------------------------------------------------
+def _collect_files(paths: Sequence[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git", ".ruff_cache")
+                )
+                files.extend(
+                    os.path.join(root, n)
+                    for n in sorted(names)
+                    if n.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+def _parse_suppressions(lines: List[str]) -> List[_Suppression]:
+    out: List[_Suppression] = []
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {c for c in match.group(1).split(",") if c}
+        # A comment-only marker governs the next line of code.
+        governed = i + 1 if line.lstrip().startswith("#") else i
+        out.append(
+            _Suppression(
+                line=governed,
+                marker_line=i,
+                codes=codes,
+                reason=match.group(2),
+            )
+        )
+    return out
+
+
+def _load_module(path: str, display_path: str) -> ModuleUnderLint:
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    tree = ast.parse(text, filename=path)  # SyntaxError handled by caller
+    lines = text.splitlines()
+    return ModuleUnderLint(
+        path=path,
+        display_path=display_path,
+        text=text,
+        tree=tree,
+        lines=lines,
+        suppressions=_parse_suppressions(lines),
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _emit(
+    rule: LintRule,
+    mod: ModuleUnderLint,
+    line: int,
+    message: str,
+) -> Optional[Diagnostic]:
+    """Stamp a finding; return None when a suppression claims it."""
+    for sup in mod.suppressions:
+        if sup.line == line and rule.code in sup.codes:
+            sup.used = True
+            return None
+    return Diagnostic(
+        severity=rule.severity,
+        code=rule.code,
+        message=message,
+        path=mod.display_path,
+        line=line,
+        hint=rule.hint or None,
+        source="lint",
+    )
+
+
+def _suppression_meta(
+    mod: ModuleUnderLint, active: Set[str]
+) -> List[Diagnostic]:
+    out = []
+    for sup in mod.suppressions:
+        if not sup.reason:
+            out.append(
+                Diagnostic(
+                    severity="error",
+                    code="unjustified-suppression",
+                    message=(
+                        f"suppression of {sorted(sup.codes)} has no "
+                        f"justification"
+                    ),
+                    path=mod.display_path,
+                    line=sup.marker_line,
+                    hint=(
+                        "append ` -- <why this violation is intentional>` "
+                        "to the disable comment"
+                    ),
+                    source="lint",
+                )
+            )
+        # A suppression can only be judged stale when every rule it
+        # names actually ran (--select must not flag the others).
+        if not sup.used and sup.codes <= active:
+            out.append(
+                Diagnostic(
+                    severity="error",
+                    code="unused-suppression",
+                    message=(
+                        f"suppression of {sorted(sup.codes)} matches no "
+                        f"violation on line {sup.line}"
+                    ),
+                    path=mod.display_path,
+                    line=sup.marker_line,
+                    hint="delete the stale disable comment",
+                    source="lint",
+                )
+            )
+    return out
+
+
+def lint_modules(
+    mods: Sequence[ModuleUnderLint],
+    select: Optional[Set[str]] = None,
+) -> List[Diagnostic]:
+    """Run every registered rule over pre-parsed modules."""
+    rules = [
+        cls()
+        for code, cls in sorted(registered_rules().items())
+        if select is None or code in select
+    ]
+    diagnostics: List[Diagnostic] = []
+    for rule in rules:
+        if rule.project_rule:
+            for mod, line, message in rule.check_project(mods):
+                diag = _emit(rule, mod, line, message)
+                if diag is not None:
+                    diagnostics.append(diag)
+        else:
+            for mod in mods:
+                for line, message in rule.check_module(mod):
+                    diag = _emit(rule, mod, line, message)
+                    if diag is not None:
+                        diagnostics.append(diag)
+    active = {rule.code for rule in rules}
+    for mod in mods:
+        diagnostics.extend(_suppression_meta(mod, active))
+    diagnostics.sort(
+        key=lambda d: (d.path or "", d.line or 0, d.code)
+    )
+    return diagnostics
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Lint files/directories; returns (diagnostics, files checked)."""
+    files = _collect_files(paths)
+    common = os.path.commonpath(files) if len(files) > 1 else ""
+    mods: List[ModuleUnderLint] = []
+    diagnostics: List[Diagnostic] = []
+    for path in files:
+        display = os.path.relpath(path, common) if common else path
+        try:
+            mods.append(_load_module(path, display))
+        except SyntaxError as exc:
+            diagnostics.append(
+                Diagnostic(
+                    severity="error",
+                    code="parse-error",
+                    message=f"file does not parse: {exc.msg}",
+                    path=display,
+                    line=exc.lineno or 1,
+                    source="lint",
+                )
+            )
+    diagnostics.extend(lint_modules(mods, select=select))
+    return diagnostics, len(files)
+
+
+def lint_source(
+    source: str,
+    filename: str = "<snippet>",
+    select: Optional[Set[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory snippet (the test fixtures' entry point)."""
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    mod = ModuleUnderLint(
+        path=filename,
+        display_path=filename,
+        text=source,
+        tree=tree,
+        lines=lines,
+        suppressions=_parse_suppressions(lines),
+    )
+    return lint_modules([mod], select=select)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Lint the codebase for simulator-invariant violations "
+            "(seeded RNG only, simulated time only, no mutable "
+            "defaults, no dead spec knobs, ...)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON diagnostics array to FILE",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, cls in sorted(registered_rules().items()):
+            print(f"{code:<22} {cls.summary}")
+        return 0
+
+    select = (
+        {c for c in args.select.split(",") if c} if args.select else None
+    )
+    diagnostics, checked = lint_paths(args.paths, select=select)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(diagnostics_to_json(diagnostics) + "\n")
+    if args.format == "json":
+        print(diagnostics_to_json(diagnostics))
+    else:
+        for diag in diagnostics:
+            print(diag.format())
+        counts = count_by_severity(diagnostics)
+        label = ", ".join(
+            f"{counts[s]} {s}(s)" for s in counts if counts[s]
+        )
+        print(
+            f"repro-lint: {checked} file(s) checked, "
+            f"{label if label else 'clean'}"
+        )
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

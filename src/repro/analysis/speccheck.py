@@ -1,0 +1,491 @@
+"""Plan-time static validation of :class:`~repro.api.spec.RunSpec`s.
+
+A RunSpec validates each section locally at construction; this module
+adds the *cross-section* pass: symbolic shape/capacity propagation over
+the model + data + cluster + partition + serve + checkpoint config
+graph, with no execution.  It catches the misconfigurations that
+otherwise surface minutes into a run (a global batch the simulated
+world cannot split, an embedding plane that overflows the HBM it is
+sharded onto, a warm-start into a disabled cache) or — worse — never
+surface at all (an autosave cadence longer than the run, a flash crowd
+scheduled after the trace ends).
+
+Checks are small registered functions producing the same
+:class:`~repro.analysis.diagnostics.Diagnostic` type as ``repro-lint``;
+``error`` findings make :meth:`repro.api.Session.analyze` raise
+:class:`SpecAnalysisError` before any stage executes.  Codes are
+stable and pinned by the negative-spec test suite.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, Iterable, List, Union
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.api.spec import RunSpec, SpecError
+from repro.hardware.specs import get_spec
+from repro.models.configs import criteo_table_configs, tiny_table_configs
+from repro.planner import AutoPlanner
+
+__all__ = [
+    "SpecAnalysisError",
+    "analyze_spec",
+    "registered_checks",
+    "spec_check",
+]
+
+#: Embedding itemsize (fp32) and the profile dim served without a model
+#: section — mirrors ``ServingModel``/``criteo_table_configs`` defaults.
+_ITEMSIZE = 4
+_PROFILE_EMBEDDING_DIM = 128
+
+
+class SpecAnalysisError(SpecError):
+    """A RunSpec failed plan-time static validation.
+
+    Subclasses :class:`~repro.api.spec.SpecError` so every caller that
+    already handles invalid specs (the CLI, the experiments) handles
+    analysis rejections the same way.  ``diagnostics`` carries the full
+    finding list (errors and warnings).
+    """
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+        errors = [d for d in diagnostics if d.severity == "error"]
+        lines = "\n".join(d.format() for d in errors)
+        super().__init__(
+            f"spec failed static validation with {len(errors)} error(s):\n"
+            f"{lines}"
+        )
+
+
+_CheckFn = Callable[[RunSpec], Iterable[Diagnostic]]
+_CHECKS: Dict[str, _CheckFn] = {}
+
+
+def spec_check(name: str) -> Callable[[_CheckFn], _CheckFn]:
+    """Register one cross-section check under a stable name."""
+
+    def register(fn: _CheckFn) -> _CheckFn:
+        if name in _CHECKS:
+            raise ValueError(f"duplicate spec check {name!r}")
+        _CHECKS[name] = fn
+        return fn
+
+    return register
+
+
+def registered_checks() -> Dict[str, _CheckFn]:
+    return dict(_CHECKS)
+
+
+def _diag(
+    severity: str,
+    code: str,
+    message: str,
+    section: str,
+    hint: str,
+) -> Diagnostic:
+    return Diagnostic(
+        severity=severity,
+        code=code,
+        message=message,
+        path=section,
+        hint=hint,
+        source="spec",
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared symbolic quantities
+# ----------------------------------------------------------------------
+def _train_split_size(data) -> int:
+    """Rows in the training split — must mirror ``train_eval_split``."""
+    return int(data.num_samples * (1.0 - data.eval_fraction))
+
+
+def _spec_tables(spec: RunSpec):
+    """The embedding tables the plan stage would shard (same logic as
+    ``Session.plan``: tiny trainable tables with a data section,
+    paper-scale Criteo tables otherwise)."""
+    if spec.data is not None:
+        dim = (
+            spec.model.embedding_dim if spec.model is not None else 16
+        )
+        return tiny_table_configs(
+            spec.data.num_sparse, spec.data.cardinality, dim
+        )
+    return criteo_table_configs()
+
+
+def _serving_row_bytes(spec: RunSpec) -> int:
+    """Bytes per cached embedding row on the serving tier."""
+    if spec.model is not None:
+        return spec.model.embedding_dim * _ITEMSIZE
+    return _PROFILE_EMBEDDING_DIM * _ITEMSIZE
+
+
+def _rank_capacity_bytes(spec: RunSpec) -> float:
+    return get_spec(spec.cluster.generation).hbm_capacity_bytes
+
+
+# ----------------------------------------------------------------------
+# Training-plane checks
+# ----------------------------------------------------------------------
+@spec_check("degenerate-data-split")
+def _check_degenerate_split(spec: RunSpec):
+    if spec.data is None:
+        return
+    if _train_split_size(spec.data) == 0:
+        yield _diag(
+            "error",
+            "degenerate-data-split",
+            f"num_samples={spec.data.num_samples} at eval_fraction="
+            f"{spec.data.eval_fraction:g} leaves an empty training "
+            f"split",
+            "data.eval_fraction",
+            "raise num_samples or lower eval_fraction so "
+            "int(num_samples * (1 - eval_fraction)) >= 1",
+        )
+
+
+@spec_check("batch-exceeds-train-split")
+def _check_batch_fits_split(spec: RunSpec):
+    if spec.train is None or spec.data is None:
+        return
+    if spec.train.mode != "single":
+        return
+    split = _train_split_size(spec.data)
+    if split and spec.train.batch_size > split:
+        yield _diag(
+            "error",
+            "batch-exceeds-train-split",
+            f"train.batch_size={spec.train.batch_size} exceeds the "
+            f"{split}-sample training split",
+            "train.batch_size",
+            "shrink batch_size or grow data.num_samples — the batch "
+            "iterator rejects batches larger than the split",
+        )
+
+
+@spec_check("probe-batch-exceeds-split")
+def _check_probe_batch_fits_split(spec: RunSpec):
+    if spec.partition is None or spec.data is None:
+        return
+    if not spec.partition.needs_probe:
+        return
+    split = _train_split_size(spec.data)
+    if split and spec.partition.probe_batch_size > split:
+        yield _diag(
+            "error",
+            "probe-batch-exceeds-split",
+            f"partition.probe_batch_size="
+            f"{spec.partition.probe_batch_size} exceeds the "
+            f"{split}-sample training split the probe trains on",
+            "partition.probe_batch_size",
+            "shrink probe_batch_size or grow data.num_samples",
+        )
+
+
+@spec_check("probe-samples-truncated")
+def _check_probe_samples(spec: RunSpec):
+    if spec.partition is None or spec.data is None:
+        return
+    if not spec.partition.needs_probe:
+        return
+    split = _train_split_size(spec.data)
+    if split and spec.partition.probe_samples > split:
+        yield _diag(
+            "warning",
+            "probe-samples-truncated",
+            f"partition.probe_samples={spec.partition.probe_samples} "
+            f"exceeds the {split}-sample training split; the "
+            f"interaction probe will silently measure only {split}",
+            "partition.probe_samples",
+            "lower probe_samples to at most the training-split size",
+        )
+
+
+@spec_check("global-batch-indivisible")
+def _check_global_batch(spec: RunSpec):
+    if spec.train is None or spec.train.mode != "simulated":
+        return
+    world = spec.cluster.world_size
+    if spec.train.global_batch % world != 0:
+        yield _diag(
+            "error",
+            "global-batch-indivisible",
+            f"train.global_batch={spec.train.global_batch} is not "
+            f"divisible by the {world}-rank simulated world",
+            "train.global_batch",
+            f"pick a multiple of {world} — the distributed pipeline "
+            f"splits the global batch evenly per rank",
+        )
+
+
+# ----------------------------------------------------------------------
+# Capacity checks (embedding plane vs hardware)
+# ----------------------------------------------------------------------
+@spec_check("shard-capacity-overflow")
+def _check_shard_capacity(spec: RunSpec):
+    if spec.model is None and spec.perf is None:
+        return
+    tables = _spec_tables(spec)
+    plan = AutoPlanner(spec.cluster.world_size).plan(tables)
+    capacity = _rank_capacity_bytes(spec)
+    worst = max(plan.storage_by_rank(itemsize=_ITEMSIZE))
+    if worst > capacity:
+        yield _diag(
+            "error",
+            "shard-capacity-overflow",
+            f"the busiest rank's embedding shards need "
+            f"{worst / 1e9:.1f} GB but one "
+            f"{spec.cluster.generation} holds "
+            f"{capacity / 1e9:.0f} GB of HBM",
+            "cluster",
+            "add hosts/GPUs (or a larger generation) until the "
+            "per-rank shard bytes fit",
+        )
+
+
+@spec_check("fetch-tier-overflow")
+def _check_fetch_tier_capacity(spec: RunSpec):
+    if spec.serve is None or not spec.serve.serves_disaggregated:
+        return
+    tables = _spec_tables(spec)
+    total = sum(
+        t.num_embeddings * t.dim * _ITEMSIZE for t in tables
+    )
+    emb_hosts = spec.serve.resolved_emb_hosts(spec.cluster.num_hosts)
+    tier = (
+        emb_hosts
+        * spec.cluster.gpus_per_host
+        * _rank_capacity_bytes(spec)
+    )
+    if total > tier:
+        yield _diag(
+            "error",
+            "fetch-tier-overflow",
+            f"the embedding tables need {total / 1e9:.1f} GB but the "
+            f"{emb_hosts}-host disaggregated fetch tier holds "
+            f"{tier / 1e9:.0f} GB",
+            "serve.emb_hosts",
+            "grow emb_hosts (embedding capacity scales independently "
+            "of dense capacity — that is the point of disaggregation)",
+        )
+
+
+@spec_check("cache-overcommits-memory")
+def _check_cache_memory(spec: RunSpec):
+    if spec.serve is None:
+        return
+    serve = spec.serve
+    replicas = serve.fleet_replicas or 1
+    cache_bytes = replicas * serve.cache_rows * _serving_row_bytes(spec)
+    dense_hosts = spec.cluster.num_hosts
+    if serve.serves_disaggregated:
+        dense_hosts -= serve.resolved_emb_hosts(spec.cluster.num_hosts)
+    capacity = (
+        dense_hosts
+        * spec.cluster.gpus_per_host
+        * _rank_capacity_bytes(spec)
+    )
+    if cache_bytes > capacity:
+        yield _diag(
+            "error",
+            "cache-overcommits-memory",
+            f"{replicas} replica cache(s) of {serve.cache_rows} rows "
+            f"need {cache_bytes / 1e9:.1f} GB but the "
+            f"{dense_hosts}-host dense tier holds "
+            f"{capacity / 1e9:.0f} GB",
+            "serve.cache_rows",
+            "shrink cache_rows or fleet_replicas until the caches fit "
+            "the dense tier's HBM",
+        )
+
+
+# ----------------------------------------------------------------------
+# Serving-plane contradictions
+# ----------------------------------------------------------------------
+@spec_check("flash-outside-trace")
+def _check_flash_window(spec: RunSpec):
+    if spec.serve is None or spec.serve.scenario != "flash":
+        return
+    span = spec.serve.num_requests / spec.serve.qps
+    if spec.serve.flash_start_s >= span:
+        yield _diag(
+            "error",
+            "flash-outside-trace",
+            f"flash_start_s={spec.serve.flash_start_s:g} is past the "
+            f"trace's expected {span:g}s span "
+            f"({spec.serve.num_requests} requests at "
+            f"{spec.serve.qps:g} QPS) — the flash crowd never happens",
+            "serve.flash_start_s",
+            "move the flash window inside num_requests / qps seconds",
+        )
+
+
+@spec_check("batcher-never-fills")
+def _check_batcher_fill(spec: RunSpec):
+    if spec.serve is None:
+        return
+    if spec.serve.max_batch_size > spec.serve.num_requests:
+        yield _diag(
+            "warning",
+            "batcher-never-fills",
+            f"max_batch_size={spec.serve.max_batch_size} exceeds the "
+            f"whole {spec.serve.num_requests}-request trace; every "
+            f"batch flushes on the deadline, never on size",
+            "serve.max_batch_size",
+            "shrink max_batch_size or serve a longer trace",
+        )
+
+
+@spec_check("fleet-oversubscribed")
+def _check_fleet_oversubscription(spec: RunSpec):
+    if spec.serve is None or not spec.serve.uses_fleet:
+        return
+    dense_hosts = spec.cluster.num_hosts
+    if spec.serve.serves_disaggregated:
+        dense_hosts -= spec.serve.resolved_emb_hosts(
+            spec.cluster.num_hosts
+        )
+    if spec.serve.fleet_replicas > dense_hosts:
+        yield _diag(
+            "warning",
+            "fleet-oversubscribed",
+            f"fleet_replicas={spec.serve.fleet_replicas} on "
+            f"{dense_hosts} dense host(s): replicas time-share hosts, "
+            f"inflating every latency percentile",
+            "serve.fleet_replicas",
+            "match fleet_replicas to the dense host count unless "
+            "oversubscription is the experiment",
+        )
+
+
+@spec_check("router-degenerate")
+def _check_router_degenerate(spec: RunSpec):
+    if spec.serve is None or not spec.serve.uses_fleet:
+        return
+    if spec.serve.fleet_replicas == 1 and spec.serve.router != "round_robin":
+        yield _diag(
+            "warning",
+            "router-degenerate",
+            f"router={spec.serve.router!r} with a single replica "
+            f"routes every request to it anyway",
+            "serve.router",
+            "drop the router override or add replicas",
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-plane checks
+# ----------------------------------------------------------------------
+@spec_check("checkpoint-resume-missing")
+def _check_resume_exists(spec: RunSpec):
+    ck = spec.checkpoint
+    if ck is None or ck.resume_from is None:
+        return
+    manifest = os.path.join(ck.resume_from, "manifest.json")
+    if not os.path.exists(manifest):
+        yield _diag(
+            "error",
+            "checkpoint-resume-missing",
+            f"checkpoint.resume_from={ck.resume_from!r} has no "
+            f"manifest.json — nothing to restore",
+            "checkpoint.resume_from",
+            "point resume_from at a directory written by "
+            "save_training_checkpoint",
+        )
+
+
+@spec_check("checkpoint-never-saves")
+def _check_save_cadence(spec: RunSpec):
+    ck = spec.checkpoint
+    if (
+        ck is None
+        or ck.save_every_steps == 0
+        or spec.train is None
+        or spec.data is None
+        or spec.train.mode != "single"
+    ):
+        return
+    split = _train_split_size(spec.data)
+    if split == 0 or spec.train.batch_size > split:
+        return  # reported by the split checks already
+    total_steps = (split // spec.train.batch_size) * spec.train.epochs
+    if ck.save_every_steps > total_steps:
+        yield _diag(
+            "warning",
+            "checkpoint-never-saves",
+            f"save_every_steps={ck.save_every_steps} exceeds the "
+            f"run's {total_steps} total optimizer steps; periodic "
+            f"autosave never fires",
+            "checkpoint.save_every_steps",
+            "lower save_every_steps below "
+            "(train_split // batch_size) * epochs",
+        )
+
+
+@spec_check("warm-start-dead-cache")
+def _check_warm_start_cache(spec: RunSpec):
+    ck = spec.checkpoint
+    if (
+        ck is None
+        or ck.resume_from is None
+        or not ck.warm_start
+        or spec.serve is None
+    ):
+        return
+    if spec.serve.cache_rows == 0:
+        yield _diag(
+            "error",
+            "warm-start-dead-cache",
+            "checkpoint.warm_start is set but serve.cache_rows=0 "
+            "disables the cache the hottest rows would prefill",
+            "serve.cache_rows",
+            "give the cache capacity, or set checkpoint.warm_start="
+            "False for the cold-cache control arm",
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def analyze_spec(
+    spec: Union[RunSpec, Dict[str, Any]]
+) -> List[Diagnostic]:
+    """Statically validate one RunSpec; returns every finding.
+
+    Accepts a constructed :class:`RunSpec` or a raw dict — a dict that
+    fails construction-time validation yields a single
+    ``spec-invalid`` error diagnostic instead of raising, so callers
+    can surface any misconfiguration through one channel.
+    """
+    if isinstance(spec, dict):
+        try:
+            spec = RunSpec.from_dict(spec)
+        except SpecError as exc:
+            return [
+                _diag(
+                    "error",
+                    "spec-invalid",
+                    str(exc),
+                    "spec",
+                    "fix the section-level validation error first",
+                )
+            ]
+    if not isinstance(spec, RunSpec):
+        raise SpecError(
+            f"analyze_spec expects a RunSpec or dict, got "
+            f"{type(spec).__name__}"
+        )
+    diagnostics: List[Diagnostic] = []
+    for _, check in sorted(_CHECKS.items()):
+        diagnostics.extend(check(spec))
+    severity_rank = {"error": 0, "warning": 1, "info": 2}
+    diagnostics.sort(
+        key=lambda d: (severity_rank[d.severity], d.code, d.path or "")
+    )
+    return diagnostics

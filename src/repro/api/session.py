@@ -6,7 +6,10 @@ partition, build the DMT model, shard the tables, train, and price the
 iteration — in one call.  Each stage is also callable on its own
 (``build_cluster`` / ``load_data`` / ``build_model`` / ``partition`` /
 ``plan`` / ``train`` / ``price`` / ``serve``, plus ``save_checkpoint`` /
-``resume`` / ``elastic_plan`` when a checkpoint section is present);
+``resume`` / ``elastic_plan`` when a checkpoint section is present, and
+``analyze`` — plan-time static validation that also auto-gates
+``train``/``serve`` unless the session is built with
+``analyze=False``);
 stages compose the existing
 subpackages, cache their artifacts on the session, and pull in their
 prerequisites lazily, so a pricing-only spec never touches the data
@@ -175,7 +178,9 @@ class Session:
     True
     """
 
-    def __init__(self, spec: "RunSpec | Dict[str, Any]"):
+    def __init__(
+        self, spec: "RunSpec | Dict[str, Any]", analyze: bool = True
+    ):
         if isinstance(spec, dict):
             spec = RunSpec.from_dict(spec)
         if not isinstance(spec, RunSpec):
@@ -183,12 +188,46 @@ class Session:
                 f"Session expects a RunSpec or dict, got {type(spec).__name__}"
             )
         self.spec = spec
+        #: Auto-run plan-time static validation before train/serve;
+        #: ``Session(spec, analyze=False)`` opts out (e.g. to study a
+        #: deliberately pathological configuration).
+        self.auto_analyze = analyze
         self._artifacts: Dict[str, Any] = {}
 
     def _stage(self, name: str, builder) -> Any:
         if name not in self._artifacts:
             self._artifacts[name] = builder()
         return self._artifacts[name]
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def analyze(self):
+        """Plan-time static validation: every finding, no execution.
+
+        Returns the full ``List[Diagnostic]`` (errors *and* warnings)
+        from :func:`repro.analysis.analyze_spec`.  Cached like any
+        other stage.  Stages that would execute a misconfigured spec
+        (:meth:`train`, :meth:`serve`) call this automatically and
+        raise :class:`~repro.analysis.SpecAnalysisError` on ``error``
+        findings unless the session was built with ``analyze=False``.
+        """
+        # Imported lazily: repro.analysis.speccheck imports
+        # repro.api.spec, so a module-level import here would cycle
+        # through repro.api.__init__ during speccheck's own import.
+        from repro.analysis.speccheck import analyze_spec
+
+        return self._stage("analyze", lambda: analyze_spec(self.spec))
+
+    def _ensure_analyzed(self) -> None:
+        """Gate executing stages on a clean static analysis."""
+        if not self.auto_analyze:
+            return
+        from repro.analysis.speccheck import SpecAnalysisError
+
+        diagnostics = self.analyze()
+        if any(d.severity == "error" for d in diagnostics):
+            raise SpecAnalysisError(diagnostics)
 
     def _need(self, section: str) -> Any:
         value = getattr(self.spec, section)
@@ -353,6 +392,7 @@ class Session:
 
         def build() -> TrainArtifact:
             train = self._need("train")
+            self._ensure_analyzed()
             if train.mode == "single":
                 return self._train_single()
             return self._train_simulated()
@@ -607,6 +647,7 @@ class Session:
 
         def build() -> ServeArtifact:
             serve: ServeSpec = self._need("serve")
+            self._ensure_analyzed()
             cluster = self.build_cluster()
             if self.spec.model is not None:
                 model_obj = (

@@ -497,6 +497,17 @@ class ServeSpec(_SpecBase):
             "max_queue_delay_ms must be >= 0",
         )
         _require(self.cache_rows >= 0, "cache_rows must be >= 0")
+        # Bugfix: a cache larger than the key space it fronts used to
+        # slip through to the serving stage, where the LRU silently
+        # never evicted while the fleet accounted (and priced) the full
+        # allocation.  Rows beyond key_space can never be referenced,
+        # so reject the overcommit at spec validation time.
+        _require(
+            self.cache_rows <= self.key_space,
+            f"cache_rows={self.cache_rows} exceeds key_space="
+            f"{self.key_space}: the cache would reserve rows the "
+            f"workload can never reference",
+        )
         _require(
             self.placement in SERVE_PLACEMENTS,
             f"unknown placement {self.placement!r}; expected one of "

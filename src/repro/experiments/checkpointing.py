@@ -57,6 +57,33 @@ def _base_spec(tmp: str, num_samples: int) -> RunSpec:
     )
 
 
+def _serve_section(fast: bool) -> ServeSpec:
+    return ServeSpec(
+        qps=50_000.0,
+        num_requests=400 if fast else 4000,
+        key_space=200,
+        cache_rows=64,
+        placement="colocated",
+    )
+
+
+def experiment_specs(fast: bool = True) -> "dict[str, RunSpec]":
+    """The statically constructible RunSpecs this experiment runs.
+
+    Public so the analysis property tests can validate them.  The
+    resume/warm-start arms depend on a checkpoint path that only
+    exists mid-run; they are derived from these via ``replace`` and
+    covered by the runtime drivers instead.
+    """
+    spec = _base_spec("checkpoints", num_samples=1500 if fast else 6000)
+    return {
+        "base": spec,
+        "cold-serve": spec.replace(
+            train=None, serve=_serve_section(fast), checkpoint=None
+        ),
+    }
+
+
 @register(
     "checkpointing",
     "Fault tolerance: bit-identical resume + elastic resharding",
@@ -144,13 +171,7 @@ def run(fast: bool = True) -> ExperimentResult:
         elastic.plan.validate_coverage(elastic.tables)
 
         # Arm 4: serving warm-start from the saved hottest rows.
-        serve_section = ServeSpec(
-            qps=50_000.0,
-            num_requests=400 if fast else 4000,
-            key_space=200,
-            cache_rows=64,
-            placement="colocated",
-        )
+        serve_section = _serve_section(fast)
         cold = Session(
             spec.replace(train=None, serve=serve_section, checkpoint=None)
         ).serve()

@@ -35,8 +35,13 @@ _MODERATE_QPS = 200_000.0
 _HIGH_QPS = 3_000_000.0
 
 
-def _serve(qps: float, num_requests: int) -> Dict[str, Any]:
-    spec = RunSpec(
+def serving_spec(qps: float, num_requests: int) -> RunSpec:
+    """The placement-comparison RunSpec at one offered load point.
+
+    Public so the analysis property tests can statically validate the
+    exact specs this experiment executes.
+    """
+    return RunSpec(
         name=f"serving-{int(qps)}",
         cluster=_CLUSTER,
         serve=ServeSpec(
@@ -47,6 +52,19 @@ def _serve(qps: float, num_requests: int) -> Dict[str, Any]:
             placement="both",
         ),
     )
+
+
+def experiment_specs(fast: bool = True) -> Dict[str, RunSpec]:
+    """Every RunSpec this experiment runs, keyed by arm label."""
+    num_requests = 20_000 if fast else 100_000
+    return {
+        "moderate": serving_spec(_MODERATE_QPS, num_requests),
+        "high": serving_spec(_HIGH_QPS, num_requests),
+    }
+
+
+def _serve(qps: float, num_requests: int) -> Dict[str, Any]:
+    spec = serving_spec(qps, num_requests)
     return {"spec": spec.to_dict(), **Session(spec).serve().summary()}
 
 

@@ -43,11 +43,16 @@ _CHURN_KEYS_PER_S = 200_000.0
 _ROUTERS = ("round_robin", "hash", "p2c")
 
 
-def _serve(router: str, churn: float, num_requests: int) -> Dict[str, Any]:
-    # Pin the flash crowd to the middle fifth of the expected span so
-    # fast and full runs stress the same relative window.
+def fleet_spec(router: str, churn: float, num_requests: int) -> RunSpec:
+    """One fleet-routing RunSpec arm.
+
+    Public so the analysis property tests can statically validate the
+    exact specs this experiment executes.  The flash crowd is pinned to
+    the middle fifth of the expected span so fast and full runs stress
+    the same relative window.
+    """
     span = num_requests / _QPS
-    spec = RunSpec(
+    return RunSpec(
         name=f"serving-fleet-{router}-churn{int(churn)}",
         cluster=_CLUSTER,
         serve=ServeSpec(
@@ -65,6 +70,22 @@ def _serve(router: str, churn: float, num_requests: int) -> Dict[str, Any]:
             churn_keys_per_s=churn,
         ),
     )
+
+
+def experiment_specs(fast: bool = True) -> Dict[str, RunSpec]:
+    """Every RunSpec this experiment runs, keyed by arm label."""
+    num_requests = 20_000 if fast else 100_000
+    specs: Dict[str, RunSpec] = {}
+    for router in _ROUTERS:
+        specs[f"static-{router}"] = fleet_spec(router, 0.0, num_requests)
+        specs[f"churn-{router}"] = fleet_spec(
+            router, _CHURN_KEYS_PER_S, num_requests
+        )
+    return specs
+
+
+def _serve(router: str, churn: float, num_requests: int) -> Dict[str, Any]:
+    spec = fleet_spec(router, churn, num_requests)
     return {"spec": spec.to_dict(), **Session(spec).serve().summary()}
 
 

@@ -72,6 +72,10 @@ class GPUSpec:
     scale_up_gbs: float
     hbm_gbs: float
     matmul_utilization: float
+    #: HBM capacity in GByte (datasheets: V100 32, A100 80, H100 80).
+    #: Bounds what a rank can host — embedding shards that exceed it
+    #: are a misconfiguration the plan-time validator rejects.
+    hbm_capacity_gb: float = 80.0
 
     @property
     def peak_flops(self) -> float:
@@ -100,6 +104,11 @@ class GPUSpec:
     def hbm_bytes_per_s(self) -> float:
         return self.hbm_gbs * 1e9
 
+    @property
+    def hbm_capacity_bytes(self) -> float:
+        """HBM capacity in bytes (shard-placement budget per rank)."""
+        return self.hbm_capacity_gb * 1e9
+
 
 #: Table 1 rows.  ``matmul_utilization`` is the one calibrated quantity
 #: (see class docstring); everything else is transcribed from the paper
@@ -112,6 +121,7 @@ V100 = GPUSpec(
     scale_up_gbs=150.0,
     hbm_gbs=900.0,
     matmul_utilization=0.55,
+    hbm_capacity_gb=32.0,
 )
 
 A100 = GPUSpec(
