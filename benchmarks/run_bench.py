@@ -16,8 +16,13 @@ Two targets, selected with ``--bench``:
   ``ServingFleet`` replay and records simulated requests/sec plus
   wall-clock per 100k requests.  Writes ``BENCH_serving.json``.
   The default 100k-request trace is the acceptance geometry.
+- ``tiering`` — the memory hierarchy: sweeps capacity pressure
+  (key space over HBM cache rows) and replays one skewed trace per
+  point under all-HBM provisioning vs the tiered DRAM/remote chain,
+  recording p99 latency, chain hit rate, provisioned dollars, and
+  $/1k requests per arm.  Writes ``BENCH_tiering.json``.
 
-``--fast`` shrinks either target for CI smoke.
+``--fast`` shrinks any target for CI smoke.
 
 Run:  PYTHONPATH=src python benchmarks/run_bench.py [--bench serving]
       [--fast] [--out PATH]
@@ -263,6 +268,136 @@ def bench_serving(args) -> dict:
     return record
 
 
+def bench_tiering(args) -> dict:
+    """p99 and $/1k requests vs capacity pressure, both storage arms."""
+    from repro.hardware import Cluster
+    from repro.serving import (
+        InferenceService,
+        LRUEmbeddingCache,
+        MicroBatcher,
+        Placement,
+        RequestStream,
+        ServingModel,
+        WorkloadConfig,
+        build_storage,
+        dollars_per_1k_requests,
+        make_tiered_service,
+        storage_dollars,
+    )
+    from repro.sim import SimCluster
+
+    cluster = Cluster(num_hosts=8, gpus_per_host=4, generation="A100")
+    model = ServingModel(
+        name="dlrm-like",
+        num_lookups=args.lookups,
+        embedding_dim=128,
+        dense_mflops=5.0,
+    )
+    row_bytes = model.embedding_dim * 4
+    ratios = (4, 16, 64)
+    print(f"benchmarking tiering ({args.requests} requests, cache "
+          f"{args.cache_rows} rows, pressure {ratios}) ...", flush=True)
+    points = {}
+    for ratio in ratios:
+        key_space = args.cache_rows * ratio
+        requests = RequestStream(
+            WorkloadConfig(
+                qps=args.qps,
+                num_requests=args.requests,
+                num_lookups=args.lookups,
+                key_space=key_space,
+                skew=1.05,
+                seed=0,
+            )
+        ).generate()
+        point = {}
+        for label in ("all-hbm", "tiered"):
+            sim = SimCluster(cluster)
+            placement = Placement("disaggregated", emb_hosts=2)
+            batcher = MicroBatcher(args.serve_batch, 0.001)
+            if label == "tiered":
+                storage = build_storage(
+                    "A100",
+                    args.cache_rows,
+                    levels=("dram",),
+                    cache_rows=(key_space // 2,),
+                    backing="remote",
+                )
+                service = make_tiered_service(
+                    sim, model, placement, batcher, storage
+                )
+            else:
+                storage = build_storage(
+                    "A100", args.cache_rows, backing="hbm"
+                )
+                service = InferenceService(
+                    sim,
+                    model,
+                    placement,
+                    batcher,
+                    LRUEmbeddingCache(args.cache_rows),
+                )
+            start = time.perf_counter()
+            report = service.serve(requests)
+            wall = time.perf_counter() - start
+            dollars = storage_dollars(
+                storage, row_bytes, backing_rows=key_space
+            )
+            point[label] = {
+                "p99_ms": report.latency_ms["p99"],
+                "cache_hit_rate": report.cache_hit_rate,
+                "dollars": dollars,
+                "dollars_per_1k_requests": dollars_per_1k_requests(
+                    dollars, report.throughput_rps
+                ),
+                "wall_clock_s": wall,
+            }
+        point["p99_ratio_tiered_over_hbm"] = (
+            point["tiered"]["p99_ms"] / point["all-hbm"]["p99_ms"]
+        )
+        point["cost_ratio_tiered_over_hbm"] = (
+            point["tiered"]["dollars"] / point["all-hbm"]["dollars"]
+        )
+        points[f"{ratio}x"] = point
+        print(f"  {ratio:3d}x: p99 ratio "
+              f"{point['p99_ratio_tiered_over_hbm']:.2f}, cost ratio "
+              f"{point['cost_ratio_tiered_over_hbm']:.2f}", flush=True)
+
+    worst_ratio = max(
+        p["p99_ratio_tiered_over_hbm"] for p in points.values()
+    )
+    best_cost = min(
+        p["cost_ratio_tiered_over_hbm"] for p in points.values()
+    )
+    record = {
+        "bench": "tiering",
+        "version": BENCH_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "requests": args.requests,
+            "lookups_per_request": args.lookups,
+            "cache_rows": args.cache_rows,
+            "ratios": list(ratios),
+            "qps": args.qps,
+            "fast": bool(args.fast),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": points,
+        "worst_p99_ratio_tiered_over_hbm": worst_ratio,
+        "best_cost_ratio_tiered_over_hbm": best_cost,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"tiered worst p99 inflation {worst_ratio:.2f}x, best cost "
+          f"ratio {best_cost:.2f}x -> wrote {args.out}")
+    return record
+
+
 def bench_sparse(args) -> dict:
     results = {}
     for mode in ("rowwise", "dense"):
@@ -311,7 +446,7 @@ def bench_sparse(args) -> dict:
 
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", choices=("sparse", "serving"),
+    parser.add_argument("--bench", choices=("sparse", "serving", "tiering"),
                         default="sparse")
     parser.add_argument("--fast", action="store_true",
                         help="CI smoke geometry (seconds, not minutes)")
@@ -337,15 +472,19 @@ def main(argv=None) -> dict:
     args = parser.parse_args(argv)
 
     if args.out is None:
-        args.out = (
-            "BENCH_serving.json"
-            if args.bench == "serving"
-            else "BENCH_sparse_path.json"
-        )
+        args.out = {
+            "serving": "BENCH_serving.json",
+            "tiering": "BENCH_tiering.json",
+            "sparse": "BENCH_sparse_path.json",
+        }[args.bench]
     if args.bench == "serving":
         if args.requests is None:
             args.requests = 10_000 if args.fast else 100_000
         return bench_serving(args)
+    if args.bench == "tiering":
+        if args.requests is None:
+            args.requests = 4_000 if args.fast else 50_000
+        return bench_tiering(args)
 
     if args.fast:
         defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Iterable, List, Union
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.api.spec import RunSpec, SpecError
-from repro.hardware.specs import get_spec
+from repro.hardware.specs import get_spec, memory_tiers
 from repro.models.configs import criteo_table_configs, tiny_table_configs
 from repro.planner import AutoPlanner
 
@@ -251,25 +251,41 @@ def _check_shard_capacity(spec: RunSpec):
 
 @spec_check("fetch-tier-overflow")
 def _check_fetch_tier_capacity(spec: RunSpec):
-    if spec.serve is None or not spec.serve.serves_disaggregated:
+    """Miss traffic's backing store must hold the embedding tables.
+
+    Classic disaggregated serving fetches misses from the emb-hosts'
+    HBM; a remote-backed tier hierarchy fetches them from the remote
+    parameter server's (DRAM-backed) capacity instead, so the bound
+    switches with ``tiers.backing``.
+    """
+    serve = spec.serve
+    if serve is None:
+        return
+    remote_backed = spec.tiers is not None and spec.tiers.backing == "remote"
+    if not remote_backed and not serve.serves_disaggregated:
         return
     tables = _spec_tables(spec)
     total = sum(
         t.num_embeddings * t.dim * _ITEMSIZE for t in tables
     )
-    emb_hosts = spec.serve.resolved_emb_hosts(spec.cluster.num_hosts)
-    tier = (
-        emb_hosts
-        * spec.cluster.gpus_per_host
-        * _rank_capacity_bytes(spec)
-    )
+    emb_hosts = serve.resolved_emb_hosts(spec.cluster.num_hosts)
+    if remote_backed:
+        remote = memory_tiers(spec.cluster.generation)["remote"]
+        tier = emb_hosts * remote.capacity_bytes
+        label = f"{emb_hosts}-host remote parameter-server tier"
+    else:
+        tier = (
+            emb_hosts
+            * spec.cluster.gpus_per_host
+            * _rank_capacity_bytes(spec)
+        )
+        label = f"{emb_hosts}-host disaggregated fetch tier"
     if total > tier:
         yield _diag(
             "error",
             "fetch-tier-overflow",
             f"the embedding tables need {total / 1e9:.1f} GB but the "
-            f"{emb_hosts}-host disaggregated fetch tier holds "
-            f"{tier / 1e9:.0f} GB",
+            f"{label} holds {tier / 1e9:.0f} GB",
             "serve.emb_hosts",
             "grow emb_hosts (embedding capacity scales independently "
             "of dense capacity — that is the point of disaggregation)",
@@ -302,6 +318,89 @@ def _check_cache_memory(spec: RunSpec):
             "serve.cache_rows",
             "shrink cache_rows or fleet_replicas until the caches fit "
             "the dense tier's HBM",
+        )
+
+
+# ----------------------------------------------------------------------
+# Tier-hierarchy checks
+# ----------------------------------------------------------------------
+@spec_check("tier-capacity-misordered")
+def _check_tier_capacity_order(spec: RunSpec):
+    """Chain levels must widen (or hold) going down the hierarchy.
+
+    The cache chain is inclusive — a level only sees the misses of the
+    level above, and those rows were just admitted above too — so a
+    deeper level smaller than the one over it can never hold anything
+    the faster level does not already hold.
+    """
+    if spec.tiers is None or spec.serve is None:
+        return
+    chain = [("hbm", spec.serve.cache_rows)] + list(
+        zip(spec.tiers.levels, spec.tiers.cache_rows)
+    )
+    for (above, above_rows), (below, below_rows) in zip(chain, chain[1:]):
+        if below_rows < above_rows:
+            yield _diag(
+                "error",
+                "tier-capacity-misordered",
+                f"tier {below!r} holds {below_rows} rows under the "
+                f"{above_rows}-row {above!r} level above it; an "
+                f"inclusive chain level smaller than its parent can "
+                f"never serve a hit",
+                "tiers.cache_rows",
+                "size each level at least as large as the level above "
+                "(hbm level 0 is serve.cache_rows)",
+            )
+
+
+@spec_check("tier-overflow")
+def _check_tier_overflow(spec: RunSpec):
+    """Each chain level must fit its tier's physical per-host capacity."""
+    if spec.tiers is None or spec.serve is None:
+        return
+    serve = spec.serve
+    replicas = serve.fleet_replicas if serve.uses_fleet else 1
+    row_bytes = _serving_row_bytes(spec)
+    dense_hosts = spec.cluster.num_hosts
+    if serve.serves_disaggregated:
+        dense_hosts -= serve.resolved_emb_hosts(spec.cluster.num_hosts)
+    tiers = memory_tiers(spec.cluster.generation)
+    for name, rows in zip(spec.tiers.levels, spec.tiers.cache_rows):
+        need = replicas * rows * row_bytes
+        capacity = dense_hosts * tiers[name].capacity_bytes
+        if need > capacity:
+            yield _diag(
+                "error",
+                "tier-overflow",
+                f"{replicas} replica {name} level(s) of {rows} rows "
+                f"need {need / 1e9:.1f} GB but the {dense_hosts}-host "
+                f"dense tier holds {capacity / 1e9:.0f} GB of {name}",
+                "tiers.cache_rows",
+                f"shrink the {name} level or fleet_replicas until it "
+                f"fits the hosts' physical {name} capacity",
+            )
+
+
+@spec_check("tier-dead-remote")
+def _check_tier_dead_remote(spec: RunSpec):
+    """A remote backing behind a chain that caches every key is dead
+    weight: after warmup no miss ever crosses the NIC, yet the remote
+    tier's capacity is provisioned (and priced) anyway."""
+    if spec.tiers is None or spec.serve is None:
+        return
+    if spec.tiers.backing != "remote":
+        return
+    chain_rows = spec.serve.cache_rows + sum(spec.tiers.cache_rows)
+    if chain_rows > spec.serve.key_space:
+        yield _diag(
+            "error",
+            "tier-dead-remote",
+            f"the local cache chain holds {chain_rows} rows but the "
+            f"workload only touches {spec.serve.key_space} keys; the "
+            f"remote backing never serves a steady-state miss",
+            "tiers.backing",
+            "set tiers.backing='hbm' (the chain covers the key space) "
+            "or shrink the chain below serve.key_space",
         )
 
 

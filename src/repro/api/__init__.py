@@ -33,6 +33,7 @@ from repro.api.spec import (
     RunSpec,
     ServeSpec,
     SpecError,
+    TierSpec,
     TrainSpec,
 )
 from repro.api.results import (
@@ -43,6 +44,7 @@ from repro.api.results import (
     PriceArtifact,
     RunResult,
     ServeArtifact,
+    TierPlanArtifact,
     TrainArtifact,
 )
 from repro.api.session import Session, spec_auc_sweep
@@ -56,6 +58,7 @@ __all__ = [
     "PerfSpec",
     "ServeSpec",
     "CheckpointSpec",
+    "TierSpec",
     "RunSpec",
     "SpecError",
     "Session",
@@ -67,5 +70,6 @@ __all__ = [
     "PriceArtifact",
     "ServeArtifact",
     "CheckpointArtifact",
+    "TierPlanArtifact",
     "RunResult",
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "PriceArtifact",
     "ServeArtifact",
     "CheckpointArtifact",
+    "TierPlanArtifact",
     "RunResult",
     "jsonable",
 ]
@@ -249,6 +250,24 @@ class CheckpointArtifact:
         return out
 
 
+@dataclass
+class TierPlanArtifact:
+    """Capacity-driven tier placement of the serving workload's rows
+    (:class:`repro.planner.tiering.TierPlacementPlan`), plus the
+    serving-side chain geometry it was planned against."""
+
+    plan: Any  # TierPlacementPlan
+    backing: str
+    chain_rows: Dict[str, int]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "backing": self.backing,
+            "chain_rows": dict(self.chain_rows),
+            **self.plan.summary(),
+        }
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class RunResult:
@@ -264,6 +283,7 @@ class RunResult:
     price: Optional[Dict[str, Any]] = None
     serve: Optional[Dict[str, Any]] = None
     checkpoint: Optional[Dict[str, Any]] = None
+    tier_plan: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def cluster_summary(cluster: Cluster) -> Dict[str, Any]:
@@ -278,7 +298,7 @@ class RunResult:
         out: Dict[str, Any] = {"name": self.name, "spec": self.spec}
         for section in (
             "cluster", "data", "partition", "plan", "train", "price",
-            "serve", "checkpoint",
+            "serve", "checkpoint", "tier_plan",
         ):
             value = getattr(self, section)
             if value is not None:
@@ -368,6 +388,20 @@ class RunResult:
                     f"  disaggregated p99 speedup "
                     f"{sv['p99_speedup_disaggregated']:.2f}x"
                 )
+        if self.tier_plan is not None:
+            tp = self.tier_plan
+            gb = tp["gb_by_tier"]
+            placed = ", ".join(
+                f"{name}={gb[name]:.2f}GB"
+                for name in gb
+                if gb[name] > 0
+            )
+            lines.append(
+                f"tier plan [{tp['backing']}-backed]: {placed}; spill "
+                f"{tp['spill_fraction'] * 100.0:.1f}% of lookups, "
+                f"${tp['dollars']:.2f} provisioned, "
+                f"{tp['expected_fetch_us_per_lookup']:.2f} us/lookup"
+            )
         if self.checkpoint is not None:
             ck = self.checkpoint
             if "resumed_from" in ck:

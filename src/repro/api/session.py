@@ -37,6 +37,7 @@ from repro.api.results import (
     PriceArtifact,
     RunResult,
     ServeArtifact,
+    TierPlanArtifact,
     TrainArtifact,
 )
 from repro.api.spec import (
@@ -63,14 +64,14 @@ from repro.data import (
     SyntheticCriteoDataset,
     train_eval_split,
 )
-from repro.hardware import Cluster
+from repro.hardware import Cluster, tier_topology
 from repro.models import DCN, DLRM, DMTDCN, DMTDLRM, criteo_table_configs, tiny_table_configs
 from repro.models.configs import DenseArch
-from repro.nn import Adam, BCEWithLogitsLoss, set_sparse_grad_mode
+from repro.nn import Adam, BCEWithLogitsLoss, TableConfig, set_sparse_grad_mode
 from repro.partitioner import TowerPartitioner, interaction_from_activations
 from repro.perf.iteration_model import IterationLatencyModel
 from repro.perf.profiles import baseline_profile, dmt_profile_for_towers
-from repro.planner import AutoPlanner
+from repro.planner import AutoPlanner, TierPlanner
 from repro.serving import (
     InferenceService,
     LRUEmbeddingCache,
@@ -80,6 +81,9 @@ from repro.serving import (
     ServingFleet,
     ServingModel,
     WorkloadConfig,
+    build_storage,
+    make_tiered_fleet,
+    make_tiered_service,
 )
 from repro.sim import SimCluster
 from repro.training import TrainConfig, Trainer
@@ -695,6 +699,18 @@ class Session:
                 if ck is not None and ck.warm_start
                 else None
             )
+            tiers = self.spec.tiers
+            storage = (
+                build_storage(
+                    self.spec.cluster.generation,
+                    serve.cache_rows,
+                    levels=tiers.levels,
+                    cache_rows=tiers.cache_rows,
+                    backing=tiers.backing,
+                )
+                if tiers is not None
+                else None
+            )
             reports, timelines, fleet_reports = {}, {}, {}
             for strategy in placements:
                 sim = SimCluster(cluster)
@@ -703,8 +719,23 @@ class Session:
                     serve.max_queue_delay_ms * 1e-3,
                 )
                 placement = Placement(strategy, emb_hosts=emb_hosts)
-                if serve.uses_fleet:
-                    server: Any = ServingFleet(
+                if storage is not None and serve.uses_fleet:
+                    server: Any = make_tiered_fleet(
+                        sim,
+                        model,
+                        placement,
+                        batcher,
+                        storage,
+                        router=serve.router,
+                        num_replicas=serve.fleet_replicas,
+                        router_seed=serve.seed,
+                    )
+                elif storage is not None:
+                    server = make_tiered_service(
+                        sim, model, placement, batcher, storage
+                    )
+                elif serve.uses_fleet:
+                    server = ServingFleet(
                         sim,
                         model,
                         placement,
@@ -743,6 +774,58 @@ class Session:
 
         return self._stage("serve", build)
 
+    def tier_plan(self) -> TierPlanArtifact:
+        """Hotness-driven row placement over the spec's tier hierarchy.
+
+        Plans where the served key space's rows live — HBM cache, DRAM
+        / SSD chain levels, remote backing — under the byte budgets the
+        tiers section implies, using the analytic Zipf hotness model at
+        ``serve.skew`` (the same skew the request sampler draws with).
+        """
+
+        def build() -> TierPlanArtifact:
+            tiers = self._need("tiers")
+            serve: ServeSpec = self._need("serve")
+            dim = (
+                self.spec.model.embedding_dim
+                if self.spec.model is not None
+                else 128
+            )
+            row_bytes = dim * 4
+            table = TableConfig(
+                name="served_rows",
+                num_embeddings=serve.key_space,
+                dim=dim,
+                pooling=1,
+            )
+            names = ("hbm",) + tuple(tiers.levels)
+            if tiers.backing == "remote":
+                names = names + ("remote",)
+            topology = tier_topology(
+                self.spec.cluster.generation, names=names
+            )
+            budgets: Dict[str, float] = {
+                "hbm": float(serve.cache_rows * row_bytes)
+            }
+            for name, rows in zip(tiers.levels, tiers.cache_rows):
+                budgets[name] = float(rows * row_bytes)
+            if tiers.backing == "hbm":
+                # HBM itself backs the table: every row is provisioned
+                # there, so its budget is unbounded and the chain
+                # levels only ever hold inclusive copies.
+                budgets["hbm"] = float("inf")
+            plan = TierPlanner(topology=topology, budgets=budgets).plan(
+                [table], serve.skew
+            )
+            chain_rows = {"hbm": serve.cache_rows}
+            for name, rows in zip(tiers.levels, tiers.cache_rows):
+                chain_rows[name] = rows
+            return TierPlanArtifact(
+                plan=plan, backing=tiers.backing, chain_rows=chain_rows
+            )
+
+        return self._stage("tier_plan", build)
+
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute every stage the spec describes; collect a RunResult."""
@@ -764,6 +847,8 @@ class Session:
             result.price = self.price().summary()
         if spec.serve is not None:
             result.serve = self.serve().summary()
+        if spec.tiers is not None:
+            result.tier_plan = self.tier_plan().summary()
         if "checkpoint" in self._artifacts:
             summary = self._artifacts["checkpoint"].summary()
             if summary:

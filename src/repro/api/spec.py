@@ -30,6 +30,7 @@ __all__ = [
     "PerfSpec",
     "ServeSpec",
     "CheckpointSpec",
+    "TierSpec",
     "RunSpec",
     "SpecError",
 ]
@@ -656,6 +657,66 @@ class PerfSpec(_SpecBase):
         )
 
 
+#: Below-HBM local chain levels a TierSpec may name, in hierarchy order.
+TIER_LEVELS = ("dram", "ssd")
+
+#: Backing stores a TierSpec may name for chain misses.
+TIER_BACKINGS = ("remote", "hbm")
+
+
+@dataclass(frozen=True)
+class TierSpec(_SpecBase):
+    """Tiered embedding storage for the serving stage.
+
+    Generalizes the single ``serve.cache_rows`` LRU into a multi-level
+    chain over the memory hierarchy
+    (:class:`repro.serving.TieredStorage`): level 0 stays the HBM cache
+    sized by ``serve.cache_rows``; ``levels``/``cache_rows`` add local
+    below-HBM levels (host DRAM, then NVMe) in order; ``backing`` says
+    where chain misses are served from — ``"remote"`` is a parameter
+    server behind the fabric (priced with its RPC latency and device
+    bandwidth), ``"hbm"`` is the classic fetch-tier model (chain misses
+    pay only the fabric transfer, which makes an empty-``levels`` spec
+    bit-identical to not having a tiers section at all).
+    """
+
+    levels: Tuple[str, ...] = ("dram",)
+    cache_rows: Tuple[int, ...] = (65_536,)
+    backing: str = "remote"
+
+    _TUPLE_FIELDS = ("levels", "cache_rows")
+
+    def __post_init__(self) -> None:
+        self._coerce_tuple_fields()
+        _require(
+            len(self.levels) == len(self.cache_rows),
+            f"levels and cache_rows must have equal length, got "
+            f"{len(self.levels)} and {len(self.cache_rows)}",
+        )
+        for name in self.levels:
+            _require(
+                name in TIER_LEVELS,
+                f"unknown tier level {name!r}; expected one of {TIER_LEVELS}",
+            )
+        ranks = [TIER_LEVELS.index(n) for n in self.levels]
+        _require(
+            len(set(ranks)) == len(ranks) and ranks == sorted(ranks),
+            f"levels must be unique and in hierarchy order {TIER_LEVELS}, "
+            f"got {self.levels}",
+        )
+        for rows in self.cache_rows:
+            _require(
+                isinstance(rows, int) and not isinstance(rows, bool)
+                and rows >= 0,
+                f"cache_rows entries must be ints >= 0, got {rows!r}",
+            )
+        _require(
+            self.backing in TIER_BACKINGS,
+            f"unknown backing {self.backing!r}; expected one of "
+            f"{TIER_BACKINGS}",
+        )
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RunSpec(_SpecBase):
@@ -682,6 +743,7 @@ class RunSpec(_SpecBase):
     perf: Optional[PerfSpec] = None
     serve: Optional[ServeSpec] = None
     checkpoint: Optional[CheckpointSpec] = None
+    tiers: Optional[TierSpec] = None
 
     _SECTIONS = {
         "cluster": ClusterSpec,
@@ -692,6 +754,7 @@ class RunSpec(_SpecBase):
         "perf": PerfSpec,
         "serve": ServeSpec,
         "checkpoint": CheckpointSpec,
+        "tiers": TierSpec,
     }
 
     def __post_init__(self) -> None:
@@ -737,6 +800,12 @@ class RunSpec(_SpecBase):
                     self.model.variant != "dmt" or self.partition is not None,
                     "serving a DMT variant requires a partition section",
                 )
+        if self.tiers is not None:
+            _require(
+                self.serve is not None,
+                "a tiers section configures serving storage and needs "
+                "a serve section to act on",
+            )
         if self.checkpoint is not None:
             _require(
                 self.train is not None or self.serve is not None,

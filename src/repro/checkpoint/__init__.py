@@ -35,6 +35,7 @@ from repro.checkpoint.state import (
     CheckpointManager,
     checkpoint_step,
     hottest_rows,
+    accumulator_mass_by_table,
     load_training_checkpoint,
     save_training_checkpoint,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "load_training_checkpoint",
     "checkpoint_step",
     "hottest_rows",
+    "accumulator_mass_by_table",
     "CheckpointManager",
     "ElasticRestorePlan",
     "plan_elastic_restore",

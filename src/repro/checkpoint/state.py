@@ -46,6 +46,7 @@ __all__ = [
     "load_training_checkpoint",
     "checkpoint_step",
     "hottest_rows",
+    "accumulator_mass_by_table",
     "CheckpointManager",
 ]
 
@@ -296,6 +297,40 @@ def hottest_rows(path: str, max_rows: int) -> np.ndarray:
     # Sort by (-hotness, id): hottest first, deterministic ties.
     order = np.lexsort((all_ids, -all_hot))
     return all_ids[order[:max_rows]].astype(np.int64)
+
+
+def accumulator_mass_by_table(path: str) -> "Dict[str, np.ndarray]":
+    """Per-row Adagrad accumulator mass of every saved table, by name.
+
+    The same hotness proxy as :func:`hottest_rows`, but unstacked: the
+    tier planner (:mod:`repro.planner.tiering`) consumes per-table row
+    masses to assign row ranges to memory tiers.  Untouched rows carry
+    exactly 0.0 mass; each array has the table's full cardinality.
+    """
+    manifest = read_manifest(path)
+    metadata = manifest["metadata"]
+    trainer = metadata.get("trainer")
+    if trainer is None:
+        raise CheckpointMismatchError(
+            f"checkpoint at {path!r} has no optimizer state to rank "
+            f"row hotness from"
+        )
+    tables = metadata.get("tables", [])
+    accum_keys = trainer["optimizers"]["sparse"]["slot_keys"].get("accum", [])
+    masses: Dict[str, np.ndarray] = {}
+    for key in accum_keys:
+        index = int(key)
+        if index >= len(tables):
+            raise CheckpointMismatchError(
+                f"checkpoint at {path!r}: sparse accumulator {index} has "
+                f"no matching table entry"
+            )
+        acc = read_array(
+            path, f"{_OPT_PREFIX}sparse/accum/{index:05d}", manifest
+        )
+        per_row = acc.sum(axis=1) if acc.ndim == 2 else np.asarray(acc, dtype=float)
+        masses[str(tables[index]["name"])] = np.asarray(per_row, dtype=float)
+    return masses
 
 
 # ----------------------------------------------------------------------

@@ -40,6 +40,7 @@ DRIVER_MODULES = (
     "scaling",
     "serving",
     "serving_fleet",
+    "tiered_serving",
     "checkpointing",
 )
 

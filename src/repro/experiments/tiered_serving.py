@@ -1,0 +1,192 @@
+"""Tiered embedding storage: DRAM/remote spill vs all-HBM provisioning.
+
+The serving plane's capacity question: when the embedding table
+outgrows the HBM cache fronting it, *naive disaggregation* answers by
+provisioning the whole table in emb-host HBM ($25/GB); the *tiered*
+hierarchy keeps the hot head in HBM, spills the warm middle to a
+host-DRAM chain level ($4/GB), and backs the cold tail on a remote
+DRAM parameter server ($4/GB) reached over the NIC.
+
+This driver sweeps capacity pressure — the ratio of key space to HBM
+cache rows — and replays one skewed request trace per point under both
+provisioning arms (same disaggregated placement, same trace).  The
+claim it pins: under Zipf traffic the tiered arm holds p99 within a
+1.25x SLO of the all-HBM arm while cutting provisioned capital cost
+several-fold, and the cost advantage *widens* with capacity pressure
+(the HBM bill grows linearly with the table; the tiered bill grows at
+DRAM prices).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.api import ClusterSpec, RunSpec, ServeSpec, Session, TierSpec
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+from repro.serving import (
+    build_storage,
+    dollars_per_1k_requests,
+    storage_dollars,
+)
+
+#: Same serving cluster as the ``serving`` experiment: 8 hosts x 4
+#: A100, 2 hosts dedicated to the embedding side.
+_CLUSTER = ClusterSpec(num_hosts=8, gpus_per_host=4, generation="A100")
+_EMB_HOSTS = 2
+
+#: HBM cache rows per replica and the swept capacity-pressure points:
+#: key_space = ratio * cache rows, so ratio 4 barely spills and ratio
+#: 64 leaves ~98% of the table outside HBM.
+_CACHE_ROWS = 8_192
+_RATIOS = (4, 16, 64)
+
+#: The DRAM chain level holds half the key space — large enough to
+#: absorb the warm middle of a Zipf(1.05) popularity curve, small
+#: enough that the remote backing still sees steady-state misses.
+_DRAM_FRACTION = 2
+
+#: Offered load and the latency SLO the tiered arm must hold.
+_QPS = 200_000.0
+_SKEW = 1.05
+_SLO_FACTOR = 1.25
+
+#: Serving-profile row bytes (dlrm profile, dim 128, fp32).
+_ROW_BYTES = 128 * 4
+
+
+def tiered_spec(ratio: int, num_requests: int, tiered: bool) -> RunSpec:
+    """One sweep point's RunSpec: naive (all-HBM) or tiered arm.
+
+    Public so the analysis property tests can statically validate the
+    exact specs this experiment executes.
+    """
+    key_space = _CACHE_ROWS * ratio
+    spec = RunSpec(
+        name=f"tiered-serving-{ratio}-{'tiered' if tiered else 'naive'}",
+        cluster=_CLUSTER,
+        serve=ServeSpec(
+            kind="dlrm",
+            qps=_QPS,
+            num_requests=num_requests,
+            key_space=key_space,
+            skew=_SKEW,
+            cache_rows=_CACHE_ROWS,
+            placement="disaggregated",
+            emb_hosts=_EMB_HOSTS,
+        ),
+    )
+    if tiered:
+        spec = spec.replace(
+            tiers=TierSpec(
+                levels=("dram",),
+                cache_rows=(key_space // _DRAM_FRACTION,),
+                backing="remote",
+            )
+        )
+    return spec
+
+
+def experiment_specs(fast: bool = True) -> Dict[str, RunSpec]:
+    """Every RunSpec this experiment runs, keyed by arm label."""
+    num_requests = 4_000 if fast else 20_000
+    specs: Dict[str, RunSpec] = {}
+    for ratio in _RATIOS:
+        specs[f"naive-{ratio}x"] = tiered_spec(ratio, num_requests, False)
+        specs[f"tiered-{ratio}x"] = tiered_spec(ratio, num_requests, True)
+    return specs
+
+
+def _arm(ratio: int, num_requests: int, tiered: bool) -> Dict[str, Any]:
+    """Serve one arm and price its provisioned storage."""
+    spec = tiered_spec(ratio, num_requests, tiered)
+    session = Session(spec)
+    report = session.serve().reports["disaggregated"].to_dict()
+    key_space = spec.serve.key_space
+    if tiered:
+        storage = build_storage(
+            _CLUSTER.generation,
+            _CACHE_ROWS,
+            levels=spec.tiers.levels,
+            cache_rows=spec.tiers.cache_rows,
+            backing=spec.tiers.backing,
+        )
+    else:
+        # Naive disaggregation: the whole table provisioned in HBM.
+        storage = build_storage(_CLUSTER.generation, _CACHE_ROWS, backing="hbm")
+    dollars = storage_dollars(storage, _ROW_BYTES, backing_rows=key_space)
+    out = {
+        "spec": spec.to_dict(),
+        "report": report,
+        "dollars": dollars,
+        "dollars_per_1k_requests": dollars_per_1k_requests(
+            dollars, report["throughput_rps"]
+        ),
+    }
+    if tiered:
+        out["tier_plan"] = session.tier_plan().summary()
+    return out
+
+
+@register("tiered_serving", "Tiered embedding storage vs all-HBM cost")
+def run(fast: bool = True) -> ExperimentResult:
+    num_requests = 4_000 if fast else 20_000
+    points: Dict[str, Dict[str, Any]] = {}
+    rows = []
+    worst_p99_ratio = 0.0
+    best_cost_ratio = 1.0
+    for ratio in _RATIOS:
+        naive = _arm(ratio, num_requests, tiered=False)
+        tiered = _arm(ratio, num_requests, tiered=True)
+        points[f"{ratio}x"] = {"naive": naive, "tiered": tiered}
+        p99_n = naive["report"]["latency_ms"]["p99"]
+        p99_t = tiered["report"]["latency_ms"]["p99"]
+        p99_ratio = p99_t / p99_n
+        cost_ratio = tiered["dollars"] / naive["dollars"]
+        worst_p99_ratio = max(worst_p99_ratio, p99_ratio)
+        best_cost_ratio = min(best_cost_ratio, cost_ratio)
+        for label, arm in (("all-HBM", naive), ("tiered", tiered)):
+            rep = arm["report"]
+            rows.append(
+                [
+                    f"{ratio}x",
+                    label,
+                    f"{rep['latency_ms']['p99']:.3f}",
+                    f"{rep['cache']['hit_rate'] * 100.0:.1f}%",
+                    f"${arm['dollars']:.2f}",
+                    f"{arm['dollars_per_1k_requests'] * 1e9:.2f}",
+                ]
+            )
+    body = format_table(
+        [
+            "pressure",
+            "storage",
+            "p99 ms",
+            "chain hit",
+            "provisioned",
+            "n$/1k req",
+        ],
+        rows,
+    )
+    slo_held = worst_p99_ratio <= _SLO_FACTOR
+    body += (
+        f"\ntiered worst-case p99 inflation {worst_p99_ratio:.2f}x "
+        f"({'holds' if slo_held else 'MISSES'} the {_SLO_FACTOR:g}x SLO); "
+        f"best cost ratio {best_cost_ratio:.2f}x at {_RATIOS[-1]}x pressure"
+    )
+    return ExperimentResult(
+        exp_id="tiered_serving",
+        title="DRAM/remote spill beats all-HBM provisioning on cost",
+        body=body,
+        data={
+            "points": points,
+            "worst_p99_ratio": worst_p99_ratio,
+            "best_cost_ratio": best_cost_ratio,
+            "slo_factor": _SLO_FACTOR,
+            "slo_held": slo_held,
+        },
+        paper_reference=(
+            "beyond-paper extension: the capacity axis of embedding "
+            "disaggregation (cf. AIBox SSD tiers, DisaggRec 2212.00939)"
+        ),
+    )

@@ -7,26 +7,38 @@ planner, iteration latency model, SPTT peer math) builds on.
 """
 
 from repro.hardware.specs import (
+    GB,
     GPUGeneration,
     GPUSpec,
     A100,
     H100,
     V100,
     GENERATIONS,
+    MemoryTierSpec,
+    TIER_ORDER,
+    TierTopology,
     get_spec,
     compute_network_gap,
+    memory_tiers,
+    tier_topology,
 )
 from repro.hardware.topology import Cluster, Host, GPU, LinkType
 
 __all__ = [
+    "GB",
     "GPUGeneration",
     "GPUSpec",
     "V100",
     "A100",
     "H100",
     "GENERATIONS",
+    "MemoryTierSpec",
+    "TIER_ORDER",
+    "TierTopology",
     "get_spec",
     "compute_network_gap",
+    "memory_tiers",
+    "tier_topology",
     "Cluster",
     "Host",
     "GPU",

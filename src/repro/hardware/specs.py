@@ -16,12 +16,27 @@ Units
 - ``scale_up_gbs``: per-GPU unidirectional NVLink bandwidth in GByte/s.
 - ``hbm_gbs``: HBM bandwidth in GByte/s (used by the embedding-lookup
   and data-shuffle cost terms).
+
+The decimal-GB convention
+-------------------------
+Every capacity and bandwidth in this module is **decimal** (SI):
+1 GB = 1 GByte = 1e9 bytes and 1 GB/s = 1e9 bytes/s, matching vendor
+datasheets and the paper's Table 1 — *not* GiB (2**30).  All
+GB→bytes conversions in the tree go through the :data:`GB` constant
+below so the convention is auditable in one place; a module-level
+self-check asserts the tier presets follow it.  Network bandwidths
+quoted in Gbit/s divide by 8 *first*, then multiply by :data:`GB`.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Decimal gigabyte: the single authoritative GB→bytes factor.  See
+#: "The decimal-GB convention" in the module docstring.
+GB = 1e9
 
 
 class GPUGeneration(enum.Enum):
@@ -94,20 +109,20 @@ class GPUSpec:
 
     @property
     def scale_out_bytes_per_s(self) -> float:
-        return self.scale_out_gbs * 1e9
+        return self.scale_out_gbs * GB
 
     @property
     def scale_up_bytes_per_s(self) -> float:
-        return self.scale_up_gbs * 1e9
+        return self.scale_up_gbs * GB
 
     @property
     def hbm_bytes_per_s(self) -> float:
-        return self.hbm_gbs * 1e9
+        return self.hbm_gbs * GB
 
     @property
     def hbm_capacity_bytes(self) -> float:
         """HBM capacity in bytes (shard-placement budget per rank)."""
-        return self.hbm_capacity_gb * 1e9
+        return self.hbm_capacity_gb * GB
 
 
 #: Table 1 rows.  ``matmul_utilization`` is the one calibrated quantity
@@ -179,3 +194,214 @@ def compute_network_gap(old: GPUSpec, new: GPUSpec) -> "tuple[float, float]":
     (63, 4)
     """
     return new.peak_tflops / old.peak_tflops, new.scale_out_gbps / old.scale_out_gbps
+
+
+# ---------------------------------------------------------------------------
+# Memory tiers: the HBM / DRAM / SSD / remote-parameter-server spectrum.
+# ---------------------------------------------------------------------------
+
+#: Canonical tier order, fastest to slowest.  Topologies must list
+#: tiers in this order; the remote parameter-server tier, when present,
+#: is always last (it sits across the scale-out fabric).
+TIER_ORDER: Tuple[str, ...] = ("hbm", "dram", "ssd", "remote")
+
+
+@dataclass(frozen=True)
+class MemoryTierSpec:
+    """One level of the embedding storage hierarchy.
+
+    Capacities and bandwidths follow the decimal-GB convention (module
+    docstring): ``capacity_gb`` and ``bandwidth_gbs`` convert to bytes
+    via the :data:`GB` constant, never 2**30.
+
+    Attributes
+    ----------
+    name:
+        One of :data:`TIER_ORDER`.
+    capacity_gb:
+        Usable capacity of this tier *per host*, decimal GB.
+    latency_s:
+        Per-access latency in seconds charged once per batch that
+        touches the tier (HBM's is folded into the existing
+        lookup-bandwidth term, so its spec latency is 0).
+    bandwidth_gbs:
+        Sequential read bandwidth, decimal GB/s.
+    dollars_per_gb:
+        Capital cost of provisioned capacity, $/decimal-GB.
+    local:
+        True when the tier sits on the serving replica's side of the
+        fabric (HBM/DRAM/SSD); False for the remote parameter server,
+        whose accesses additionally cross the NIC.
+    """
+
+    name: str
+    capacity_gb: float
+    latency_s: float
+    bandwidth_gbs: float
+    dollars_per_gb: float
+    local: bool = True
+
+    def __post_init__(self) -> None:
+        if self.name not in TIER_ORDER:
+            raise ValueError(
+                f"unknown memory tier {self.name!r}; expected one of {TIER_ORDER}"
+            )
+        if self.capacity_gb <= 0:
+            raise ValueError(f"tier {self.name!r}: capacity_gb must be positive")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError(f"tier {self.name!r}: bandwidth_gbs must be positive")
+        if self.latency_s < 0:
+            raise ValueError(f"tier {self.name!r}: latency_s must be >= 0")
+        if self.dollars_per_gb < 0:
+            raise ValueError(f"tier {self.name!r}: dollars_per_gb must be >= 0")
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Capacity in bytes (decimal-GB convention)."""
+        return self.capacity_gb * GB
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Bandwidth in bytes/s (decimal-GB convention)."""
+        return self.bandwidth_gbs * GB
+
+
+@dataclass(frozen=True)
+class TierTopology:
+    """An ordered memory hierarchy: which tiers exist, on which fabric side.
+
+    Tiers must appear in :data:`TIER_ORDER` order with unique names.
+    Among the *local* tiers, bandwidth must be non-increasing and
+    latency/capacity non-decreasing going down the hierarchy — a slower
+    local tier that is also smaller than the one above it could never
+    be the right spill target, so such topologies are rejected at
+    construction.  The remote tier is exempt from the device-latency
+    ordering: a DRAM-backed parameter server has lower *device* latency
+    than local flash — its real cost is the NIC hop, which the serving
+    plane prices separately.
+    """
+
+    tiers: Tuple[MemoryTierSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("TierTopology requires at least one tier")
+        names = [t.name for t in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tier names: {names}")
+        ranks = [TIER_ORDER.index(n) for n in names]
+        if ranks != sorted(ranks):
+            raise ValueError(
+                f"tiers must follow canonical order {TIER_ORDER}, got {names}"
+            )
+        for t in self.tiers:
+            if t.local != (t.name != "remote"):
+                raise ValueError(
+                    f"tier {t.name!r}: only the 'remote' tier may set local=False"
+                )
+        local = self.local_tiers
+        for above, below in zip(local, local[1:]):
+            if below.latency_s < above.latency_s:
+                raise ValueError(
+                    f"tier {below.name!r} has lower latency than {above.name!r}"
+                )
+            if below.bandwidth_gbs > above.bandwidth_gbs:
+                raise ValueError(
+                    f"tier {below.name!r} has higher bandwidth than {above.name!r}"
+                )
+            if below.capacity_gb < above.capacity_gb:
+                raise ValueError(
+                    f"tier {below.name!r} is smaller than {above.name!r}"
+                )
+
+    @property
+    def local_tiers(self) -> Tuple[MemoryTierSpec, ...]:
+        """Tiers on the serving replica's side of the fabric."""
+        return tuple(t for t in self.tiers if t.local)
+
+    @property
+    def remote(self) -> "MemoryTierSpec | None":
+        """The remote parameter-server tier, if present."""
+        for t in self.tiers:
+            if not t.local:
+                return t
+        return None
+
+    def get(self, name: str) -> MemoryTierSpec:
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(f"topology has no tier {name!r}")
+
+
+def memory_tiers(generation: "GPUGeneration | str") -> Dict[str, MemoryTierSpec]:
+    """Per-generation presets for the embedding storage hierarchy.
+
+    HBM numbers come from :func:`get_spec`; DRAM/SSD/remote are
+    representative datacenter figures (DDR4/DDR5 host memory, NVMe
+    flash, and a DRAM-backed parameter-server tier reached over the
+    generation's NIC).  $/GB figures are coarse 2023 street prices —
+    they only need the right *ordering* (HBM >> DRAM > SSD) for the
+    capacity-driven placement argument.
+    """
+    spec = get_spec(generation)
+    return {
+        "hbm": MemoryTierSpec(
+            name="hbm",
+            capacity_gb=spec.hbm_capacity_gb,
+            latency_s=0.0,
+            bandwidth_gbs=spec.hbm_gbs,
+            dollars_per_gb=25.0,
+            local=True,
+        ),
+        "dram": MemoryTierSpec(
+            name="dram",
+            capacity_gb=2000.0,
+            latency_s=2e-6,
+            bandwidth_gbs=100.0,
+            dollars_per_gb=4.0,
+            local=True,
+        ),
+        "ssd": MemoryTierSpec(
+            name="ssd",
+            capacity_gb=16000.0,
+            latency_s=100e-6,
+            bandwidth_gbs=7.0,
+            dollars_per_gb=0.10,
+            local=True,
+        ),
+        "remote": MemoryTierSpec(
+            name="remote",
+            capacity_gb=8000.0,
+            latency_s=50e-6,
+            bandwidth_gbs=spec.scale_out_gbs,
+            dollars_per_gb=4.0,
+            local=False,
+        ),
+    }
+
+
+def tier_topology(
+    generation: "GPUGeneration | str",
+    names: "Tuple[str, ...]" = TIER_ORDER,
+) -> TierTopology:
+    """Build a :class:`TierTopology` from preset tiers, by name.
+
+    >>> tier_topology("A100", ("hbm", "dram", "remote")).remote.name
+    'remote'
+    """
+    presets = memory_tiers(generation)
+    return TierTopology(tiers=tuple(presets[n] for n in names))
+
+
+def _check_tier_conventions() -> None:
+    """Assert the presets follow the decimal-GB convention (satellite a)."""
+    for gen in GENERATIONS.values():
+        for tier in memory_tiers(gen.generation).values():
+            assert tier.capacity_bytes == tier.capacity_gb * 1e9, tier.name
+            assert tier.bytes_per_s == tier.bandwidth_gbs * 1e9, tier.name
+        # The full topology must construct cleanly (ordering invariants).
+        tier_topology(gen.generation)
+
+
+_check_tier_conventions()

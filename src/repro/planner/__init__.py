@@ -6,6 +6,11 @@ auto-planner that balances storage and traffic (with the §5.1 manual
 column-wise factor when GPUs outnumber tables), and a NeuroShard-style
 perfectly-balanced baseline used to demonstrate §2.4's negative result
 — balance alone cannot fix global-AlltoAll latency.
+
+:mod:`repro.planner.tiering` adds the orthogonal *vertical* axis:
+capacity-driven placement of hotness-ranked rows across the
+HBM/DRAM/SSD/remote memory hierarchy (:class:`TierPlanner`), pricing
+what spills where.
 """
 
 from repro.planner.sharding import (
@@ -15,6 +20,13 @@ from repro.planner.sharding import (
 )
 from repro.planner.planner import AutoPlanner, PlannerConfig
 from repro.planner.neuroshard import balanced_plan, balance_analysis
+from repro.planner.tiering import (
+    TierAssignment,
+    TierPlacementPlan,
+    TierPlanner,
+    plan_from_checkpoint,
+    zipf_mass,
+)
 
 __all__ = [
     "ShardingType",
@@ -24,4 +36,9 @@ __all__ = [
     "PlannerConfig",
     "balanced_plan",
     "balance_analysis",
+    "TierAssignment",
+    "TierPlacementPlan",
+    "TierPlanner",
+    "plan_from_checkpoint",
+    "zipf_mass",
 ]

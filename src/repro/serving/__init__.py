@@ -20,7 +20,12 @@ on the same cost-model machinery:
 - :mod:`repro.serving.fleet` — the :class:`ServingFleet`: N replicas,
   each with its own batcher and cache, fed by a pluggable router
   (round-robin / consistent-hash / power-of-two-choices) on the same
-  priced cluster.
+  priced cluster;
+- :mod:`repro.serving.tiers` — the tiered storage hierarchy: a
+  multi-level :class:`CacheChain` (HBM/DRAM/SSD) over an HBM or
+  remote-parameter-server backing, priced per
+  :class:`~repro.hardware.MemoryTierSpec`, with the classic single-tier
+  path as the bit-identical degenerate preset.
 """
 
 from repro.serving.batcher import MicroBatch, MicroBatcher
@@ -48,6 +53,18 @@ from repro.serving.service import (
     ServingModel,
     ServingReport,
     build_report,
+)
+from repro.serving.tiers import (
+    CacheChain,
+    DEFAULT_AMORTIZATION_S,
+    ServingTier,
+    TieredPlacementEngine,
+    TieredStorage,
+    build_storage,
+    dollars_per_1k_requests,
+    make_tiered_fleet,
+    make_tiered_service,
+    storage_dollars,
 )
 from repro.serving.workload import (
     Request,
@@ -82,4 +99,14 @@ __all__ = [
     "ROUTER_POLICIES",
     "PLACEMENT_STRATEGIES",
     "ID_WIRE_BYTES",
+    "CacheChain",
+    "ServingTier",
+    "TieredStorage",
+    "TieredPlacementEngine",
+    "build_storage",
+    "make_tiered_service",
+    "make_tiered_fleet",
+    "storage_dollars",
+    "dollars_per_1k_requests",
+    "DEFAULT_AMORTIZATION_S",
 ]

@@ -256,8 +256,13 @@ class ServingFleet:
         cache_rows: int = 0,
         cache_factory: Optional[Callable[[], _LRUCacheBase]] = None,
         router_seed: int = 0,
+        engine: Optional[PlacementEngine] = None,
     ):
-        self.engine = PlacementEngine(sim, model, placement)
+        # ``engine`` injects a PlacementEngine subclass (the tiered
+        # engine); ``cache_factory`` may build multi-level CacheChains.
+        self.engine = (
+            engine if engine is not None else PlacementEngine(sim, model, placement)
+        )
         self.num_replicas = (
             num_replicas
             if num_replicas is not None
@@ -341,6 +346,7 @@ class ServingFleet:
         for ready, rep, batch in tagged:
             start = max(ready, float(replica_free[rep]))
             hits, miss_keys = self.caches[rep].probe(batch.keys)
+            extra = self.engine.chain_extra_seconds(self.caches[rep])
             done, t_fetch, t_compute, t_queue = self.engine.price_batch(
                 batch,
                 start,
@@ -349,6 +355,7 @@ class ServingFleet:
                 len(miss_keys),
                 host_share=self.host_share,
                 label_suffix=f"/replica{rep}",
+                extra_compute_s=extra,
             )
             mine = phase_ms[rep]
             if len(miss_keys):

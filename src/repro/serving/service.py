@@ -206,6 +206,18 @@ class PlacementEngine:
         spec = self.sim.cluster.spec
         return 2.0 * num_hit_rows * self.model.row_bytes / spec.hbm_bytes_per_s
 
+    def chain_extra_seconds(self, cache: Any) -> float:
+        """Extra local seconds the last probe spent below the top tier.
+
+        The base engine models a single-level cache: every hit is an
+        HBM hit, so there is nothing below the top tier and the term is
+        exactly 0.0 — which keeps the classic colocated/disaggregated
+        paths bit-identical.  The tiered engine
+        (:class:`~repro.serving.tiers.TieredPlacementEngine`) overrides
+        this with the DRAM/SSD hop costs of the multi-level chain.
+        """
+        return 0.0
+
     def price_batch(
         self,
         batch: Any,
@@ -215,6 +227,7 @@ class PlacementEngine:
         num_misses: int,
         host_share: float = 1.0,
         label_suffix: str = "",
+        extra_compute_s: float = 0.0,
     ) -> Tuple[float, float, float, float]:
         """Price one served batch and append its timeline events.
 
@@ -223,7 +236,10 @@ class PlacementEngine:
         pricing change (like this PR's id-leg fix) can never drift
         between them.  ``start_s`` is when the owning replica picks the
         batch up; ``fetch_free`` (mutated) holds the shared fetch
-        servers' busy-until times.
+        servers' busy-until times.  ``extra_compute_s`` is additional
+        local time folded into the COMPUTE phase — the tiered cache
+        chain's below-HBM hop costs (0.0 for the single-level cache, so
+        the classic paths price bit-identically).
 
         Returns ``(done_s, fetch_s, compute_s, queue_s)`` — the batch
         completion time and the per-phase seconds just recorded
@@ -250,7 +266,7 @@ class PlacementEngine:
             t_fetch = 0.0
             fetch_start = fetch_end = start_s
         t_dense = self.dense_seconds(batch.size, host_share)
-        t_hit = self.hit_read_seconds(num_hits)
+        t_hit = self.hit_read_seconds(num_hits) + extra_compute_s
         timeline.add(
             Phase.COMPUTE,
             f"dense forward{label_suffix}",
@@ -369,9 +385,16 @@ class InferenceService:
         model: ServingModel,
         placement: Placement,
         batcher: MicroBatcher,
-        cache: Optional[LRUEmbeddingCache] = None,
+        cache: Optional[Any] = None,
+        engine: Optional[PlacementEngine] = None,
     ):
-        self.engine = PlacementEngine(sim, model, placement)
+        # ``cache`` accepts anything with the cache protocol (probe /
+        # prefill / stats / capacity_rows) — an LRUEmbeddingCache or a
+        # multi-level CacheChain.  ``engine`` injects a PlacementEngine
+        # subclass (the tiered engine); default is the classic one.
+        self.engine = (
+            engine if engine is not None else PlacementEngine(sim, model, placement)
+        )
         self.num_replicas = self.engine.num_dense_hosts
         self.num_fetch_servers = self.engine.num_fetch_servers
         self.sim = sim
@@ -435,8 +458,14 @@ class InferenceService:
             replica = int(np.argmin(replica_free))
             start = max(batch.ready_s, float(replica_free[replica]))
             hits, miss_keys = self.cache.probe(batch.keys)
+            extra = self.engine.chain_extra_seconds(self.cache)
             done, _, _, _ = self.engine.price_batch(
-                batch, start, fetch_free, hits, len(miss_keys)
+                batch,
+                start,
+                fetch_free,
+                hits,
+                len(miss_keys),
+                extra_compute_s=extra,
             )
             replica_free[replica] = done
             last_done = max(last_done, done)

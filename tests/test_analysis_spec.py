@@ -27,6 +27,7 @@ from repro.api.spec import (
     PerfSpec,
     RunSpec,
     ServeSpec,
+    TierSpec,
     TrainSpec,
 )
 from repro.checkpoint import save_training_checkpoint
@@ -82,17 +83,27 @@ class TestPropertyEveryRealSpecValidates:
 
     @pytest.mark.parametrize("fast", [True, False])
     def test_experiment_specs_pass(self, fast):
-        from repro.experiments import checkpointing, serving, serving_fleet
+        from repro.experiments import (
+            checkpointing,
+            serving,
+            serving_fleet,
+            tiered_serving,
+        )
 
-        for mod in (serving, serving_fleet, checkpointing):
+        for mod in (serving, serving_fleet, tiered_serving, checkpointing):
             for arm, spec in mod.experiment_specs(fast=fast).items():
                 bad = error_codes(spec)
                 assert bad == [], (mod.__name__, arm, bad)
 
     def test_session_analyze_passes_for_experiment_presets(self):
-        from repro.experiments import checkpointing, serving, serving_fleet
+        from repro.experiments import (
+            checkpointing,
+            serving,
+            serving_fleet,
+            tiered_serving,
+        )
 
-        for mod in (serving, serving_fleet, checkpointing):
+        for mod in (serving, serving_fleet, tiered_serving, checkpointing):
             for spec in mod.experiment_specs().values():
                 diags = Session(spec).analyze()
                 assert not [d for d in diags if d.severity == "error"]
@@ -209,6 +220,74 @@ class TestNegativeSeededBrokenSpecs:
         )
         assert error_codes(spec) == ["warm-start-dead-cache"]
 
+    def _tiered_spec(self, tiers, **serve_overrides):
+        serve = dict(
+            qps=2000.0, num_requests=2000, key_space=200_000,
+            skew=1.05, cache_rows=4096, placement="both", emb_hosts=2,
+        )
+        serve.update(serve_overrides)
+        return RunSpec(
+            cluster=ClusterSpec(
+                num_hosts=8, gpus_per_host=4, generation="A100"
+            ),
+            serve=ServeSpec(**serve),
+            tiers=tiers,
+        )
+
+    def test_clean_tiered_spec_passes(self):
+        spec = self._tiered_spec(
+            TierSpec(levels=("dram",), cache_rows=(65_536,),
+                     backing="remote")
+        )
+        assert error_codes(spec) == []
+
+    def test_tier_capacity_misordered(self):
+        # A 1024-row DRAM level under the 4096-row HBM cache: the
+        # inclusive chain's lower level can never serve a hit.
+        spec = self._tiered_spec(
+            TierSpec(levels=("dram",), cache_rows=(1024,),
+                     backing="remote")
+        )
+        assert error_codes(spec) == ["tier-capacity-misordered"]
+
+    def test_tier_dead_remote(self):
+        # Chain (4096 + 300k rows) covers the whole 200k key space, so
+        # the priced remote backing never serves a steady-state miss.
+        spec = self._tiered_spec(
+            TierSpec(levels=("dram",), cache_rows=(300_000,),
+                     backing="remote")
+        )
+        assert error_codes(spec) == ["tier-dead-remote"]
+
+    def test_tier_overflow(self):
+        # 30e9 rows x 512 B ~ 15.4 TB of DRAM level, but the 6 dense
+        # hosts only hold 12 TB of physical DRAM.
+        spec = self._tiered_spec(
+            TierSpec(
+                levels=("dram",),
+                cache_rows=(30_000_000_000,),
+                backing="remote",
+            ),
+            key_space=50_000_000_000,
+        )
+        assert error_codes(spec) == ["tier-overflow"]
+
+    def test_remote_backing_retargets_fetch_tier(self):
+        """The fetch-tier bound switches with tiers.backing: misses of
+        a remote-backed chain land on the PS's DRAM capacity, not the
+        emb-hosts' HBM."""
+        broken = RunSpec(
+            cluster=ClusterSpec(
+                num_hosts=2, gpus_per_host=1, generation="V100"
+            ),
+            serve=ServeSpec(placement="disaggregated", emb_hosts=1),
+        )
+        assert error_codes(broken) == ["fetch-tier-overflow"]
+        fixed = broken.replace(
+            tiers=TierSpec(levels=(), cache_rows=(), backing="remote")
+        )
+        assert error_codes(fixed) == []
+
     def test_invalid_dict_input_maps_to_spec_invalid(self):
         diags = analyze_spec({"serve": {"qps": -5.0}})
         assert [d.code for d in diags] == ["spec-invalid"]
@@ -227,6 +306,9 @@ class TestNegativeSeededBrokenSpecs:
             "flash-outside-trace",
             "checkpoint-resume-missing",
             "warm-start-dead-cache",
+            "tier-capacity-misordered",
+            "tier-overflow",
+            "tier-dead-remote",
         } <= names
 
 
@@ -296,6 +378,50 @@ class TestServeSpecCacheBugfix:
 
     def test_zero_cache_always_valid(self):
         ServeSpec(cache_rows=0, key_space=1)
+
+
+# ----------------------------------------------------------------------
+class TestTierSpecValidation:
+    """TierSpec construction rules and the JSON round trip."""
+
+    def test_round_trip_preserves_tuples(self):
+        spec = RunSpec(
+            serve=ServeSpec(placement="colocated"),
+            tiers=TierSpec(
+                levels=("dram", "ssd"), cache_rows=(64, 256),
+                backing="remote",
+            ),
+        )
+        again = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        # JSON turns tuples into lists; the round trip restores them.
+        assert again.tiers.levels == ("dram", "ssd")
+        assert again.tiers.cache_rows == (64, 256)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SpecError, match="equal length"):
+            TierSpec(levels=("dram",), cache_rows=())
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(SpecError, match="unknown tier level"):
+            TierSpec(levels=("l2",), cache_rows=(64,))
+
+    def test_misordered_levels_rejected(self):
+        with pytest.raises(SpecError, match="hierarchy order"):
+            TierSpec(levels=("ssd", "dram"), cache_rows=(64, 64))
+
+    def test_unknown_backing_rejected(self):
+        with pytest.raises(SpecError, match="backing"):
+            TierSpec(backing="ssd")
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(SpecError, match="ints >= 0"):
+            TierSpec(levels=("dram",), cache_rows=(-1,))
+
+    def test_tiers_requires_serve(self):
+        # A valid training run cannot carry a dangling tiers section.
+        with pytest.raises(SpecError, match="needs a serve section"):
+            tiny_quality_spec(tiers=TierSpec())
 
 
 # ----------------------------------------------------------------------

@@ -39,6 +39,7 @@ ALL_IDS = {
     "scaling",
     "serving",
     "serving_fleet",
+    "tiered_serving",
     "checkpointing",
 }
 
@@ -46,7 +47,7 @@ ALL_IDS = {
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
-        assert len(ids) == 21
+        assert len(ids) == 22
         assert ids == ALL_IDS
 
     def test_registry_lazy_imports_drivers(self):

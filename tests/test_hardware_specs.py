@@ -1,15 +1,21 @@
-"""Tests for GPU generation specs (paper Table 1)."""
+"""Tests for GPU generation specs (paper Table 1) and memory tiers."""
 
 import pytest
 
 from repro.hardware import (
     A100,
+    GB,
     GENERATIONS,
     GPUGeneration,
     H100,
+    MemoryTierSpec,
+    TIER_ORDER,
+    TierTopology,
     V100,
     compute_network_gap,
     get_spec,
+    memory_tiers,
+    tier_topology,
 )
 
 
@@ -77,3 +83,117 @@ class TestLookup:
     def test_specs_are_frozen(self):
         with pytest.raises(Exception):
             V100.peak_tflops = 1.0  # type: ignore[misc]
+
+
+class TestDecimalGBConvention:
+    """Every capacity/bandwidth conversion goes through GB = 1e9.
+
+    One decimal-GB constant, no binary-GiB slips: a 2^30 mixed into a
+    single tier would skew every cross-tier comparison by ~7%.
+    """
+
+    def test_gb_is_decimal(self):
+        assert GB == 1e9
+        assert GB != 2**30
+
+    def test_gpu_byte_properties_use_gb(self):
+        for spec in GENERATIONS.values():
+            assert spec.hbm_capacity_bytes == spec.hbm_capacity_gb * GB
+            assert spec.hbm_bytes_per_s == spec.hbm_gbs * GB
+            assert spec.scale_up_bytes_per_s == spec.scale_up_gbs * GB
+            # NIC rates arrive in Gbit/s: divide by 8, then decimal GB.
+            assert spec.scale_out_bytes_per_s == pytest.approx(
+                spec.scale_out_gbps / 8.0 * GB
+            )
+
+    @pytest.mark.parametrize("generation", ["V100", "A100", "H100"])
+    def test_tier_byte_properties_use_gb(self, generation):
+        for tier in memory_tiers(generation).values():
+            assert tier.capacity_bytes == tier.capacity_gb * GB
+            assert tier.bytes_per_s == tier.bandwidth_gbs * GB
+
+
+class TestMemoryTiers:
+    @pytest.mark.parametrize("generation", ["V100", "A100", "H100"])
+    def test_presets_cover_canonical_order(self, generation):
+        tiers = memory_tiers(generation)
+        assert tuple(sorted(tiers)) == tuple(sorted(TIER_ORDER))
+
+    def test_hbm_preset_matches_generation(self):
+        spec = get_spec("A100")
+        hbm = memory_tiers("A100")["hbm"]
+        assert hbm.capacity_gb == spec.hbm_capacity_gb
+        assert hbm.bandwidth_gbs == spec.hbm_gbs
+
+    def test_remote_preset_rides_the_nic(self):
+        spec = get_spec("H100")
+        remote = memory_tiers("H100")["remote"]
+        assert not remote.local
+        assert remote.bytes_per_s == pytest.approx(
+            spec.scale_out_bytes_per_s
+        )
+
+    def test_dollars_rank_hbm_most_expensive(self):
+        tiers = memory_tiers("A100")
+        assert tiers["hbm"].dollars_per_gb > tiers["dram"].dollars_per_gb
+        assert tiers["dram"].dollars_per_gb > tiers["ssd"].dollars_per_gb
+
+    def test_bad_tier_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown memory tier"):
+            MemoryTierSpec(
+                name="l2", capacity_gb=1.0, latency_s=0.0,
+                bandwidth_gbs=1.0, dollars_per_gb=1.0,
+            )
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MemoryTierSpec(
+                name="dram", capacity_gb=0.0, latency_s=0.0,
+                bandwidth_gbs=1.0, dollars_per_gb=1.0,
+            )
+
+
+class TestTierTopology:
+    @pytest.mark.parametrize("generation", ["V100", "A100", "H100"])
+    def test_full_topology_constructs(self, generation):
+        topo = tier_topology(generation)
+        assert tuple(t.name for t in topo.tiers) == TIER_ORDER
+        assert topo.remote is not None
+        assert tuple(t.name for t in topo.local_tiers) == (
+            "hbm", "dram", "ssd",
+        )
+
+    def test_local_monotonicity(self):
+        """Latency up, bandwidth down, capacity up — across local tiers."""
+        topo = tier_topology("A100")
+        local = topo.local_tiers
+        for fast, slow in zip(local, local[1:]):
+            assert fast.latency_s <= slow.latency_s
+            assert fast.bytes_per_s >= slow.bytes_per_s
+            assert fast.capacity_bytes <= slow.capacity_bytes
+
+    def test_remote_may_beat_local_ssd_on_device_latency(self):
+        """The DRAM-backed remote PS is faster than NVMe at the device;
+        its real cost is the NIC hop, priced on the serving path."""
+        tiers = memory_tiers("A100")
+        assert tiers["remote"].latency_s < tiers["ssd"].latency_s
+
+    def test_subset_topology(self):
+        topo = tier_topology("A100", names=("hbm", "dram"))
+        assert tuple(t.name for t in topo.tiers) == ("hbm", "dram")
+        assert topo.remote is None
+
+    def test_misordered_names_rejected(self):
+        with pytest.raises(ValueError, match="canonical"):
+            tier_topology("A100", names=("dram", "hbm"))
+
+    def test_duplicate_names_rejected(self):
+        tiers = memory_tiers("A100")
+        with pytest.raises(ValueError, match="duplicate tier names"):
+            TierTopology(tiers=(tiers["hbm"], tiers["hbm"]))
+
+    def test_get_by_name(self):
+        topo = tier_topology("A100")
+        assert topo.get("dram").name == "dram"
+        with pytest.raises(KeyError):
+            topo.get("l2")

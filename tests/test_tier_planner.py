@@ -1,0 +1,229 @@
+"""Tests for hotness-driven tier placement (repro.planner.tiering)."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    accumulator_mass_by_table,
+    save_training_checkpoint,
+)
+from repro.data import SyntheticCriteoConfig, SyntheticCriteoDataset
+from repro.hardware import tier_topology
+from repro.models import DLRM, tiny_table_configs
+from repro.models.configs import DenseArch, criteo_table_configs
+from repro.nn import TableConfig
+from repro.planner import (
+    TierPlacementPlan,
+    TierPlanner,
+    plan_from_checkpoint,
+    zipf_mass,
+)
+from repro.training import TrainConfig, Trainer
+
+
+def small_tables():
+    return [
+        TableConfig("hot", 10_000, 16, pooling=1),
+        TableConfig("cold", 50_000, 16, pooling=1),
+    ]
+
+
+class TestZipfMass:
+    def test_matches_exact_harmonic_sum(self):
+        bounds = [0, 10, 100, 1000]
+        mass = zipf_mass(1000, 1.2, bounds)
+        ranks = np.arange(1, 1001, dtype=float) ** -1.2
+        for i, (a, b) in enumerate(zip(bounds[:-1], bounds[1:])):
+            assert mass[i] == pytest.approx(ranks[a:b].sum())
+
+    def test_zero_skew_is_uniform(self):
+        mass = zipf_mass(100, 0.0, [0, 25, 50, 100])
+        assert mass[0] == pytest.approx(25.0)
+        assert mass[2] == pytest.approx(50.0)
+
+    def test_integral_approximation_close_on_tail_segments(self):
+        """Beyond the exact-sum limit (where only tail segments live,
+        thanks to the geometric chunking) the midpoint integral is
+        within 1e-6 of the exact sum."""
+        a, b = 1 << 20, (1 << 21) + 64  # length > exact-sum limit
+        approx = zipf_mass(b, 1.1, [a, b])[0]
+        exact = float(
+            np.sum(np.arange(a + 1, b + 1, dtype=np.float64) ** -1.1)
+        )
+        assert approx == pytest.approx(exact, rel=1e-6)
+
+
+class TestTierPlanner:
+    def _plan(self, budgets=None, skew=1.1, tables=None):
+        topo = tier_topology("A100")
+        planner = TierPlanner(topology=topo, budgets=budgets)
+        return planner.plan(tables or small_tables(), skew)
+
+    def test_every_row_placed_exactly_once(self):
+        plan = self._plan(budgets={"hbm": 64_000.0, "dram": 640_000.0})
+        placed = {t.name: 0 for t in plan.tables}
+        for a in plan.assignments:
+            placed[a.table] += a.num_rows
+        assert placed == {"hot": 10_000, "cold": 50_000}
+
+    def test_access_fractions_sum_to_one(self):
+        plan = self._plan(budgets={"hbm": 64_000.0, "dram": 640_000.0})
+        total = sum(a.access_fraction for a in plan.assignments)
+        assert total == pytest.approx(1.0)
+
+    def test_hottest_ranks_land_in_fastest_tier(self):
+        plan = self._plan(budgets={"hbm": 64_000.0, "dram": 640_000.0})
+        by_tier = {}
+        for a in plan.assignments:
+            by_tier.setdefault((a.table, a.tier), []).append(a.row_start)
+        # The hot table's rank-0 chunk must sit in HBM, not below.
+        assert ("hot", "hbm") in by_tier
+        assert min(by_tier[("hot", "hbm")]) == 0
+
+    def test_budgets_respected(self):
+        budgets = {"hbm": 64_000.0, "dram": 640_000.0}
+        plan = self._plan(budgets=budgets)
+        by_tier = plan.bytes_by_tier()
+        assert by_tier["hbm"] <= budgets["hbm"]
+        assert by_tier["dram"] <= budgets["dram"]
+
+    def test_overflow_raises(self):
+        topo = tier_topology("A100", names=("hbm",))
+        planner = TierPlanner(topology=topo, budgets={"hbm": 1_000.0})
+        with pytest.raises(ValueError, match="do not fit"):
+            planner.plan(small_tables(), 1.1)
+
+    def test_skewed_spill_fraction_beats_table_fraction(self):
+        """At skew > 1 the HBM-resident head absorbs far more than its
+        share of rows — the entire point of hotness-aware placement."""
+        budgets = {"hbm": 64_000.0, "dram": 64_000_000.0}
+        plan = self._plan(budgets=budgets, skew=1.2)
+        rows = plan.rows_by_tier()
+        hbm_row_share = rows["hbm"] / sum(rows.values())
+        hbm_access = plan.access_fraction_by_tier()["hbm"]
+        assert hbm_access > 5 * hbm_row_share
+        assert plan.spill_fraction == pytest.approx(1.0 - hbm_access)
+
+    def test_uniform_access_fraction_tracks_rows(self):
+        """One table, skew 0: a tier's access share is its row share.
+        (Across tables, mass is normalized per table and weighted by
+        pooling — each table contributes `pooling` lookups/sample.)"""
+        tables = [TableConfig("t", 60_000, 16, pooling=1)]
+        budgets = {"hbm": 64_000.0, "dram": 64_000_000.0}
+        plan = self._plan(budgets=budgets, skew=0.0, tables=tables)
+        rows = plan.rows_by_tier()
+        fracs = plan.access_fraction_by_tier()
+        share = rows["hbm"] / sum(rows.values())
+        assert fracs["hbm"] == pytest.approx(share, rel=1e-6)
+
+    def test_measured_hotness_dict(self):
+        """Per-row accumulator mass: the hot half of each table wins
+        the fast tier regardless of id order."""
+        tables = [TableConfig("t", 1024, 16, pooling=1)]
+        mass = np.zeros(1024)
+        mass[::2] = 100.0  # even ids hot
+        topo = tier_topology("A100", names=("hbm", "dram"))
+        # Budget aligned to the geometric chunk boundary at rank 512,
+        # so the 512 hot ranks land in HBM whole.
+        planner = TierPlanner(
+            topology=topo, budgets={"hbm": 512 * 64.0, "dram": 1e12}
+        )
+        plan = planner.plan(tables, {"t": mass})
+        fracs = plan.access_fraction_by_tier()
+        assert fracs["hbm"] == pytest.approx(1.0)
+
+    def test_mismatched_hotness_length_raises(self):
+        topo = tier_topology("A100", names=("hbm", "dram"))
+        planner = TierPlanner(topology=topo)
+        with pytest.raises(ValueError, match="rows"):
+            planner.plan(
+                [TableConfig("t", 100, 16, pooling=1)],
+                {"t": np.ones(7)},
+            )
+
+    def test_paper_scale_criteo_fits_hierarchy(self):
+        """The acceptance geometry: Criteo tables outgrow one GPU's
+        HBM and the hierarchy absorbs the spill with tiny access
+        loss."""
+        topo = tier_topology("A100")
+        plan = TierPlanner(topology=topo).plan(
+            criteo_table_configs(), 1.05
+        )
+        summary = plan.summary()
+        gb = summary["gb_by_tier"]
+        assert gb["hbm"] <= 80.0 + 1e-6
+        assert sum(gb.values()) > 80.0  # genuinely spills
+        assert summary["spill_fraction"] < 0.05
+        assert summary["dollars"] > 0.0
+        assert summary["expected_fetch_us_per_lookup"] >= 0.0
+
+    def test_summary_is_json_shaped(self):
+        import json
+
+        plan = self._plan(budgets={"hbm": 64_000.0, "dram": 640_000.0})
+        json.dumps(plan.summary())
+
+    def test_plan_is_deterministic(self):
+        a = self._plan(budgets={"hbm": 64_000.0, "dram": 640_000.0})
+        b = self._plan(budgets={"hbm": 64_000.0, "dram": 640_000.0})
+        assert a.assignments == b.assignments
+
+
+class TestPlanFromCheckpoint:
+    def _checkpoint(self, tmp_path):
+        config = SyntheticCriteoConfig(
+            num_dense=4, num_sparse=4, cardinality=50
+        )
+        ds = SyntheticCriteoDataset(config, seed=0)
+        dense, ids, labels = ds.sample(400, seed=1)
+        tables = tiny_table_configs(4, 50, 8)
+        model = DLRM(
+            4,
+            tables,
+            DenseArch(embedding_dim=8, bottom_mlp=(8,), top_mlp=(8,)),
+            rng=np.random.default_rng(0),
+        )
+        trainer = Trainer(
+            model, TrainConfig(batch_size=50, epochs=1, seed=3)
+        )
+        trainer.fit(dense, ids, labels)
+        path = save_training_checkpoint(
+            str(tmp_path / "ck"), model, trainer
+        )
+        return path, tables
+
+    def test_accumulator_mass_by_table(self, tmp_path):
+        path, tables = self._checkpoint(tmp_path)
+        masses = accumulator_mass_by_table(path)
+        assert set(masses) == {t.name for t in tables}
+        for t in tables:
+            assert masses[t.name].shape == (t.num_embeddings,)
+            assert (masses[t.name] >= 0).all()
+            assert masses[t.name].sum() > 0  # training touched rows
+
+    def test_plan_from_checkpoint_places_all_rows(self, tmp_path):
+        path, tables = self._checkpoint(tmp_path)
+        topo = tier_topology("A100", names=("hbm", "dram"))
+        plan = plan_from_checkpoint(
+            path, tables, topo, budgets={"hbm": 40 * 32.0, "dram": 1e12}
+        )
+        assert isinstance(plan, TierPlacementPlan)
+        rows = plan.rows_by_tier()
+        assert sum(rows.values()) == sum(t.num_embeddings for t in tables)
+        # Touched (hot) rows beat untouched ones into the HBM budget:
+        # 40 of 200 rows (20%) absorb well over 2x their uniform share.
+        assert plan.access_fraction_by_tier()["hbm"] > 0.4
+
+    def test_missing_table_falls_back_to_cold(self, tmp_path):
+        path, tables = self._checkpoint(tmp_path)
+        extra = list(tables) + [TableConfig("absent", 100, 8, pooling=1)]
+        topo = tier_topology("A100", names=("hbm", "dram"))
+        plan = plan_from_checkpoint(
+            path, extra, topo, budgets={"hbm": 40 * 32.0, "dram": 1e12}
+        )
+        # The absent table has zero mass everywhere: no HBM claim.
+        absent = [
+            a for a in plan.assignments
+            if a.table == "absent" and a.tier == "hbm"
+        ]
+        assert not absent
