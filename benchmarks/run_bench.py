@@ -21,6 +21,13 @@ Two targets, selected with ``--bench``:
   point under all-HBM provisioning vs the tiered DRAM/remote chain,
   recording p99 latency, chain hit rate, provisioned dollars, and
   $/1k requests per arm.  Writes ``BENCH_tiering.json``.
+- ``faults`` — the robustness plane: replays the same seeded trace
+  through a fault-free baseline, a crash storm absorbed by client
+  retries, and a fetch-tier outage served degraded from cache, then
+  sweeps checkpoint cadence under a fixed crash.  Records the retry
+  overhead (p99 vs baseline, retried fraction), the degraded-serve
+  fraction, and the MTTR-vs-cadence ladder (with a monotonicity
+  verdict).  Writes ``BENCH_faults.json``.
 
 ``--fast`` shrinks any target for CI smoke.
 
@@ -398,6 +405,165 @@ def bench_tiering(args) -> dict:
     return record
 
 
+def bench_faults(args) -> dict:
+    """Retry overhead, degraded-serve fraction, MTTR vs cadence."""
+    from repro.api import (
+        ClusterSpec,
+        FaultSpec,
+        RunSpec,
+        ServeSpec,
+        Session,
+    )
+
+    qps = 4_000_000.0
+    span = args.requests / qps
+    cadences_s = (0.0, 0.001, 0.002, 0.004, 0.008)
+    cluster = ClusterSpec(num_hosts=8, gpus_per_host=4, generation="A100")
+
+    def serve_section() -> ServeSpec:
+        # 4 fetch hosts so replica count (not the shared fetch tier)
+        # bounds capacity — same geometry as the fault_tolerance
+        # experiment, scaled by --requests.
+        return ServeSpec(
+            kind="dlrm",
+            qps=qps,
+            num_requests=args.requests,
+            placement="disaggregated",
+            emb_hosts=4,
+            fleet_replicas=3,
+            router="round_robin",
+            cache_rows=args.cache_rows,
+            key_space=20_000,
+            skew=1.2,
+        )
+
+    def crash_faults(crashes: int, period_s: float) -> FaultSpec:
+        return FaultSpec(
+            seed=3,
+            replica_crashes=crashes,
+            start_s=0.3 * span,
+            end_s=0.6 * span,
+            timeout_ms=0.5,
+            detection_ms=0.3,
+            restore_ms=0.3,
+            checkpoint_period_s=period_s,
+            cold_rebuild_ms=5.0,
+            warm_rows=8192,
+        )
+
+    print(f"benchmarking fault tolerance ({args.requests} requests, "
+          f"3 replicas, cache {args.cache_rows} rows) ...", flush=True)
+
+    base_spec = RunSpec(
+        name="bench-faults-baseline", cluster=cluster, serve=serve_section()
+    )
+    base_p99 = (
+        Session(base_spec).serve().reports["disaggregated"].latency_ms["p99"]
+    )
+    print(f"  baseline (no faults): p99 {base_p99:.3f} ms", flush=True)
+
+    crash_spec = RunSpec(
+        name="bench-faults-crash",
+        cluster=cluster,
+        serve=serve_section(),
+        faults=crash_faults(crashes=2, period_s=0.002),
+    )
+    crash = Session(crash_spec).serve().fault_reports["disaggregated"]
+    crash_p99 = crash.fleet.fleet.latency_ms["p99"]
+    print(f"  crash storm + retries: p99 {crash_p99:.3f} ms "
+          f"({crash_p99 / base_p99:.2f}x baseline), retried "
+          f"{crash.retried_fraction * 100.0:.2f}%, lost "
+          f"{crash.lost_fraction * 100.0:.2f}%", flush=True)
+
+    outage_spec = RunSpec(
+        name="bench-faults-outage",
+        cluster=cluster,
+        serve=serve_section(),
+        faults=FaultSpec(
+            seed=7,
+            fetch_outages=1,
+            outage_duration_s=0.2 * span,
+            start_s=0.3 * span,
+            end_s=0.6 * span,
+            timeout_ms=0.5,
+        ),
+    )
+    outage = Session(outage_spec).serve().fault_reports["disaggregated"]
+    print(f"  fetch outage (degraded mode): served degraded "
+          f"{outage.degraded_fraction * 100.0:.2f}%, lost "
+          f"{outage.lost_fraction * 100.0:.2f}%", flush=True)
+
+    mttr_by_cadence = {}
+    mttr_ladder = []
+    for period in cadences_s:
+        spec = RunSpec(
+            name=f"bench-faults-cadence-{period:g}",
+            cluster=cluster,
+            serve=serve_section(),
+            faults=crash_faults(crashes=1, period_s=period),
+        )
+        report = Session(spec).serve().fault_reports["disaggregated"]
+        mttr_ms = report.mttr_s * 1e3
+        mttr_ladder.append(mttr_ms)
+        label = "cold" if period == 0 else f"{period * 1e3:g}ms"
+        mttr_by_cadence[label] = mttr_ms
+    # Cold rebuild (index 0) is the ceiling; among real cadences MTTR
+    # must rise with the period (replaying a longer tail of traffic).
+    monotone = all(
+        mttr_ladder[i] < mttr_ladder[i + 1]
+        for i in range(1, len(mttr_ladder) - 1)
+    ) and all(m < mttr_ladder[0] for m in mttr_ladder[1:])
+    print("  MTTR ladder: "
+          + ", ".join(f"{k}={v:.2f}ms" for k, v in mttr_by_cadence.items())
+          + f" (monotone: {monotone})", flush=True)
+
+    record = {
+        "bench": "faults",
+        "version": BENCH_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "requests": args.requests,
+            "qps": qps,
+            "cache_rows": args.cache_rows,
+            "cadences_s": list(cadences_s),
+            "fast": bool(args.fast),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            "baseline": {"p99_ms": base_p99},
+            "crash_retry": {
+                "spec": crash_spec.to_dict(),
+                "p99_ms": crash_p99,
+                "retried_fraction": crash.retried_fraction,
+                "num_retries": crash.num_retries,
+                "lost_fraction": crash.lost_fraction,
+                "mttr_ms": crash.mttr_s * 1e3,
+            },
+            "outage_degraded": {
+                "spec": outage_spec.to_dict(),
+                "degraded_fraction": outage.degraded_fraction,
+                "lost_fraction": outage.lost_fraction,
+                "quality_cost": outage.quality_cost,
+            },
+            "mttr_by_cadence_ms": mttr_by_cadence,
+        },
+        "retry_overhead_p99_ratio": crash_p99 / base_p99,
+        "degraded_serve_fraction": outage.degraded_fraction,
+        "mttr_monotone_in_cadence": monotone,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"retry overhead {record['retry_overhead_p99_ratio']:.2f}x p99, "
+          f"degraded-serve {outage.degraded_fraction * 100.0:.2f}%, MTTR "
+          f"monotone={monotone} -> wrote {args.out}")
+    return record
+
+
 def bench_sparse(args) -> dict:
     results = {}
     for mode in ("rowwise", "dense"):
@@ -446,7 +612,8 @@ def bench_sparse(args) -> dict:
 
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", choices=("sparse", "serving", "tiering"),
+    parser.add_argument("--bench",
+                        choices=("sparse", "serving", "tiering", "faults"),
                         default="sparse")
     parser.add_argument("--fast", action="store_true",
                         help="CI smoke geometry (seconds, not minutes)")
@@ -475,6 +642,7 @@ def main(argv=None) -> dict:
         args.out = {
             "serving": "BENCH_serving.json",
             "tiering": "BENCH_tiering.json",
+            "faults": "BENCH_faults.json",
             "sparse": "BENCH_sparse_path.json",
         }[args.bench]
     if args.bench == "serving":
@@ -485,6 +653,10 @@ def main(argv=None) -> dict:
         if args.requests is None:
             args.requests = 4_000 if args.fast else 50_000
         return bench_tiering(args)
+    if args.bench == "faults":
+        if args.requests is None:
+            args.requests = 30_000 if args.fast else 120_000
+        return bench_faults(args)
 
     if args.fast:
         defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)

@@ -479,6 +479,111 @@ def _check_router_degenerate(spec: RunSpec):
 
 
 # ----------------------------------------------------------------------
+# Fault/autoscale-plane checks
+# ----------------------------------------------------------------------
+@spec_check("fault-outside-trace")
+def _check_fault_window(spec: RunSpec):
+    fs = spec.faults
+    if fs is None or spec.serve is None or fs.num_faults == 0:
+        return
+    if fs.start_s == 0 and fs.end_s == 0:
+        return  # auto window: always inside the trace
+    span = spec.serve.num_requests / spec.serve.qps
+    if fs.start_s >= span:
+        yield _diag(
+            "error",
+            "fault-outside-trace",
+            f"faults.start_s={fs.start_s:g} is past the trace's "
+            f"expected {span:g}s span ({spec.serve.num_requests} "
+            f"requests at {spec.serve.qps:g} QPS) — no fault ever "
+            f"fires",
+            "faults.start_s",
+            "move the injection window inside num_requests / qps "
+            "seconds (or leave start_s/end_s at 0 for the automatic "
+            "middle-90% window)",
+        )
+
+
+@spec_check("retry-budget-zero-with-faults")
+def _check_retry_budget(spec: RunSpec):
+    fs = spec.faults
+    if fs is None:
+        return
+    if fs.replica_crashes + fs.replica_hangs == 0:
+        return
+    if fs.max_retries == 0 or fs.retry_budget == 0:
+        knob = (
+            "max_retries" if fs.max_retries == 0 else "retry_budget"
+        )
+        yield _diag(
+            "error",
+            "retry-budget-zero-with-faults",
+            f"faults.{knob}=0 with "
+            f"{fs.replica_crashes + fs.replica_hangs} replica "
+            f"crash/hang fault(s): every request caught on a down "
+            f"replica is silently lost",
+            f"faults.{knob}",
+            "give the client retries (max_retries >= 1 and "
+            "retry_budget > 0), or drop the replica faults if lost "
+            "requests are the experiment's control arm",
+        )
+
+
+@spec_check("autoscale-bounds-inverted")
+def _check_autoscale_bounds(spec: RunSpec):
+    asp = spec.autoscale
+    if asp is None or spec.serve is None:
+        return
+    if asp.min_replicas > asp.max_replicas:
+        yield _diag(
+            "error",
+            "autoscale-bounds-inverted",
+            f"autoscale.min_replicas={asp.min_replicas} exceeds "
+            f"max_replicas={asp.max_replicas}; the controller has no "
+            f"feasible fleet size",
+            "autoscale.min_replicas",
+            "order the bounds min_replicas <= max_replicas",
+        )
+        return
+    start = spec.serve.fleet_replicas
+    if start and not asp.min_replicas <= start <= asp.max_replicas:
+        yield _diag(
+            "error",
+            "autoscale-bounds-inverted",
+            f"serve.fleet_replicas={start} starts the fleet outside "
+            f"the autoscaler's [{asp.min_replicas}, "
+            f"{asp.max_replicas}] bounds",
+            "serve.fleet_replicas",
+            "start the fleet inside the autoscale bounds (or widen "
+            "them)",
+        )
+
+
+@spec_check("degraded-mode-without-backing")
+def _check_degraded_backing(spec: RunSpec):
+    fs = spec.faults
+    if fs is None or spec.serve is None:
+        return
+    if not fs.degraded_mode or fs.fetch_outages == 0:
+        return
+    chain_rows = spec.serve.cache_rows
+    if spec.tiers is not None:
+        chain_rows += sum(spec.tiers.cache_rows)
+    if chain_rows == 0:
+        yield _diag(
+            "error",
+            "degraded-mode-without-backing",
+            "faults.degraded_mode serves stale rows from the local "
+            "cache during a fetch outage, but serve.cache_rows=0 "
+            "(and no tier levels) leaves nothing to serve stale",
+            "serve.cache_rows",
+            "give the replicas cache capacity, or set "
+            "faults.degraded_mode=False so outage fetches block "
+            "until the tier recovers",
+        )
+
+
+# ----------------------------------------------------------------------
 # Checkpoint-plane checks
 # ----------------------------------------------------------------------
 @spec_check("checkpoint-resume-missing")

@@ -24,9 +24,11 @@ Quick taste::
 """
 
 from repro.api.spec import (
+    AutoscaleSpec,
     CheckpointSpec,
     ClusterSpec,
     DataSpec,
+    FaultSpec,
     ModelSpec,
     PartitionSpec,
     PerfSpec,
@@ -59,6 +61,8 @@ __all__ = [
     "ServeSpec",
     "CheckpointSpec",
     "TierSpec",
+    "FaultSpec",
+    "AutoscaleSpec",
     "RunSpec",
     "SpecError",
     "Session",

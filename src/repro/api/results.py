@@ -21,7 +21,12 @@ from repro.jsonutil import jsonable
 from repro.partitioner import TPResult
 from repro.perf.iteration_model import IterationBreakdown
 from repro.planner import ShardingPlan
-from repro.serving import FleetReport, ServingModel, ServingReport
+from repro.serving import (
+    FaultReport,
+    FleetReport,
+    ServingModel,
+    ServingReport,
+)
 from repro.sim.tracing import Timeline
 from repro.training import EvalResult
 
@@ -186,13 +191,18 @@ class ServeArtifact:
     ``reports`` always holds the per-arm aggregate
     :class:`ServingReport` — for a fleet run that is the fleet-wide
     aggregate, and the full :class:`~repro.serving.FleetReport` (router,
-    load balance, per-replica reports) sits in ``fleet_reports``.
+    load balance, per-replica reports) sits in ``fleet_reports``.  A
+    fault-injected / autoscaled run additionally fills
+    ``fault_reports`` with the per-arm robustness ledger
+    (:class:`~repro.serving.FaultReport`: lost/retried/degraded
+    counts, SLO-violation fraction, MTTR, scale events).
     """
 
     model: ServingModel
     reports: Dict[str, ServingReport]
     timelines: Dict[str, Timeline] = field(default_factory=dict)
     fleet_reports: Dict[str, FleetReport] = field(default_factory=dict)
+    fault_reports: Dict[str, FaultReport] = field(default_factory=dict)
 
     @property
     def p99_speedup(self) -> Optional[float]:
@@ -219,6 +229,13 @@ class ServeArtifact:
                 detail = fleet.to_dict()
                 detail.pop("fleet")
                 out["fleet"][name] = detail
+        if self.fault_reports:
+            # Robustness ledger minus the fleet (already above).
+            out["faults"] = {}
+            for name, fault in self.fault_reports.items():
+                detail = fault.to_dict()
+                detail.pop("fleet")
+                out["faults"][name] = detail
         if self.p99_speedup is not None:
             out["p99_speedup_disaggregated"] = float(self.p99_speedup)
         return out
@@ -382,6 +399,17 @@ class RunResult:
                         f"  fleet [{name}]: {detail['num_replicas']} "
                         f"replicas via {detail['router']}, load imbalance "
                         f"{detail['load_imbalance']:.2f}"
+                    )
+            if "faults" in sv:
+                for name, detail in sv["faults"].items():
+                    lines.append(
+                        f"  faults [{name}]: served "
+                        f"{detail['num_served']}/{detail['num_offered']} "
+                        f"(lost {detail['num_lost']}, retried "
+                        f"{detail['num_retried']}, degraded "
+                        f"{detail['num_degraded']}), SLO violations "
+                        f"{detail['slo_violation_fraction'] * 100.0:.1f}%, "
+                        f"MTTR {detail['mttr_s'] * 1e3:.2f} ms"
                     )
             if "p99_speedup_disaggregated" in sv:
                 lines.append(

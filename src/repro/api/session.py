@@ -73,13 +73,20 @@ from repro.perf.iteration_model import IterationLatencyModel
 from repro.perf.profiles import baseline_profile, dmt_profile_for_towers
 from repro.planner import AutoPlanner, TierPlanner
 from repro.serving import (
+    AutoscalePolicy,
+    FaultConfig,
     InferenceService,
     LRUEmbeddingCache,
     MicroBatcher,
     Placement,
+    RecoveryModel,
     RequestStream,
+    ResilientFleet,
+    RetryPolicy,
+    SLOAutoscaler,
     ServingFleet,
     ServingModel,
+    TieredPlacementEngine,
     WorkloadConfig,
     build_storage,
     make_tiered_fleet,
@@ -711,7 +718,78 @@ class Session:
                 if tiers is not None
                 else None
             )
-            reports, timelines, fleet_reports = {}, {}, {}
+            fs = self.spec.faults
+            asp = self.spec.autoscale
+            resilient = fs is not None or asp is not None
+            fault_cfg: Optional[FaultConfig] = None
+            retry_cfg: Optional[RetryPolicy] = None
+            recovery_cfg: Optional[RecoveryModel] = None
+            if fs is not None:
+                fault_cfg = FaultConfig(
+                    seed=fs.seed,
+                    replica_crashes=fs.replica_crashes,
+                    replica_hangs=fs.replica_hangs,
+                    hang_duration_s=fs.hang_duration_s,
+                    fetch_degrades=fs.fetch_degrades,
+                    degrade_duration_s=fs.degrade_duration_s,
+                    degrade_factor=fs.degrade_factor,
+                    fetch_outages=fs.fetch_outages,
+                    outage_duration_s=fs.outage_duration_s,
+                    start_s=fs.start_s,
+                    end_s=fs.end_s,
+                )
+                retry_cfg = RetryPolicy(
+                    timeout_ms=fs.timeout_ms,
+                    max_retries=fs.max_retries,
+                    backoff_base_ms=fs.backoff_base_ms,
+                    backoff_cap_ms=fs.backoff_cap_ms,
+                    jitter=fs.backoff_jitter,
+                    retry_budget=fs.retry_budget,
+                )
+                if fs.replica_crashes > 0 and fs.recover_crashes:
+                    if ck is not None and ck.resume_from is not None:
+                        # A resumable checkpoint on this cluster: price
+                        # the restore leg with the actual elastic
+                        # re-placement migration instead of a constant.
+                        recovery_cfg = RecoveryModel.from_elastic_plan(
+                            self.elastic_plan(),
+                            checkpoint_period_s=fs.checkpoint_period_s,
+                            detection_s=fs.detection_ms * 1e-3,
+                            replay_rate=fs.replay_rate,
+                            warm_rows=fs.warm_rows,
+                        )
+                    else:
+                        recovery_cfg = RecoveryModel(
+                            detection_s=fs.detection_ms * 1e-3,
+                            restore_s=fs.restore_ms * 1e-3,
+                            checkpoint_period_s=fs.checkpoint_period_s,
+                            replay_rate=fs.replay_rate,
+                            cold_rebuild_s=fs.cold_rebuild_ms * 1e-3,
+                            warm_rows=fs.warm_rows,
+                        )
+
+            def make_autoscaler() -> Optional[SLOAutoscaler]:
+                # Fresh controller per placement arm — cooldown state
+                # must not leak across arms.
+                if asp is None:
+                    return None
+                return SLOAutoscaler(
+                    AutoscalePolicy(
+                        slo_p99_ms=asp.slo_p99_ms,
+                        min_replicas=asp.min_replicas,
+                        max_replicas=asp.max_replicas,
+                        window_s=asp.window_ms * 1e-3,
+                        scale_step=asp.scale_step,
+                        provision_s=asp.provision_ms * 1e-3,
+                        cooldown_windows=asp.cooldown_windows,
+                        queue_high=asp.queue_high,
+                        scale_down_margin=asp.scale_down_margin,
+                        warm_rows=asp.warm_rows,
+                    )
+                )
+
+            reports, timelines = {}, {}
+            fleet_reports, fault_reports = {}, {}
             for strategy in placements:
                 sim = SimCluster(cluster)
                 batcher = MicroBatcher(
@@ -719,8 +797,49 @@ class Session:
                     serve.max_queue_delay_ms * 1e-3,
                 )
                 placement = Placement(strategy, emb_hosts=emb_hosts)
-                if storage is not None and serve.uses_fleet:
-                    server: Any = make_tiered_fleet(
+                if resilient:
+                    # Faults/autoscaling are a fleet story (the spec
+                    # layer enforces serve.uses_fleet); the tiered
+                    # engine composes unchanged via injection.
+                    tiered_engine = (
+                        TieredPlacementEngine(
+                            sim, model, placement, storage
+                        )
+                        if storage is not None
+                        else None
+                    )
+                    server: Any = ResilientFleet(
+                        sim,
+                        model,
+                        placement,
+                        batcher,
+                        router=serve.router,
+                        num_replicas=serve.fleet_replicas,
+                        cache_rows=serve.cache_rows,
+                        cache_factory=(
+                            (
+                                lambda: storage.make_chain(
+                                    LRUEmbeddingCache
+                                )
+                            )
+                            if storage is not None
+                            else None
+                        ),
+                        router_seed=serve.seed,
+                        engine=tiered_engine,
+                        faults=fault_cfg,
+                        retry=retry_cfg,
+                        recovery=recovery_cfg,
+                        autoscaler=make_autoscaler(),
+                        degraded_mode=(
+                            fs.degraded_mode if fs is not None else True
+                        ),
+                        stale_penalty=(
+                            fs.stale_penalty if fs is not None else 0.05
+                        ),
+                    )
+                elif storage is not None and serve.uses_fleet:
+                    server = make_tiered_fleet(
                         sim,
                         model,
                         placement,
@@ -759,7 +878,11 @@ class Session:
                         strategy
                     ] = seeded
                 outcome = server.serve(requests)
-                if serve.uses_fleet:
+                if resilient:
+                    fault_reports[strategy] = outcome
+                    fleet_reports[strategy] = outcome.fleet
+                    reports[strategy] = outcome.fleet.fleet
+                elif serve.uses_fleet:
                     fleet_reports[strategy] = outcome
                     reports[strategy] = outcome.fleet
                 else:
@@ -770,6 +893,7 @@ class Session:
                 reports=reports,
                 timelines=timelines,
                 fleet_reports=fleet_reports,
+                fault_reports=fault_reports,
             )
 
         return self._stage("serve", build)

@@ -31,6 +31,8 @@ __all__ = [
     "ServeSpec",
     "CheckpointSpec",
     "TierSpec",
+    "FaultSpec",
+    "AutoscaleSpec",
     "RunSpec",
     "SpecError",
 ]
@@ -717,6 +719,243 @@ class TierSpec(_SpecBase):
         )
 
 
+@dataclass(frozen=True)
+class FaultSpec(_SpecBase):
+    """Seeded fault injection + client robustness for fleet serving.
+
+    The fault half (``replica_crashes`` .. ``end_s``) expands into a
+    deterministic :class:`repro.serving.FaultConfig` schedule over the
+    served trace; the client half (``timeout_ms`` .. ``retry_budget``)
+    becomes the :class:`repro.serving.RetryPolicy`; ``degraded_mode`` /
+    ``stale_penalty`` control stale serving during fetch outages; and
+    the recovery knobs (``recover_crashes`` .. ``warm_rows``) build the
+    :class:`repro.serving.RecoveryModel` that prices MTTR against
+    checkpoint cadence.  Requires ``serve.fleet_replicas`` — faults are
+    a fleet story.
+    """
+
+    seed: int = 0
+    # Fault schedule (counts expand via the seed).
+    replica_crashes: int = 0
+    replica_hangs: int = 0
+    hang_duration_s: float = 0.0
+    fetch_degrades: int = 0
+    degrade_duration_s: float = 0.0
+    degrade_factor: float = 4.0
+    fetch_outages: int = 0
+    outage_duration_s: float = 0.0
+    start_s: float = 0.0  # injection window; both 0 = middle 90%
+    end_s: float = 0.0
+    # Client-side robustness.
+    timeout_ms: float = 1.0
+    max_retries: int = 3
+    backoff_base_ms: float = 0.25
+    backoff_cap_ms: float = 2.0
+    backoff_jitter: float = 0.5
+    retry_budget: float = 0.25
+    degraded_mode: bool = True
+    stale_penalty: float = 0.05
+    # Crash recovery (MTTR model); only read when replica_crashes > 0.
+    recover_crashes: bool = True
+    detection_ms: float = 1.0
+    restore_ms: float = 2.0
+    checkpoint_period_s: float = 0.0  # 0 = no checkpoints (cold rebuild)
+    replay_rate: float = 0.5
+    cold_rebuild_ms: float = 50.0
+    warm_rows: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.seed >= 0, f"seed must be >= 0, got {self.seed}")
+        for name in (
+            "replica_crashes",
+            "replica_hangs",
+            "fetch_degrades",
+            "fetch_outages",
+        ):
+            _require(
+                getattr(self, name) >= 0, f"{name} must be >= 0"
+            )
+        _require(
+            self.replica_hangs == 0 or self.hang_duration_s > 0,
+            "replica_hangs > 0 needs hang_duration_s > 0",
+        )
+        _require(
+            self.fetch_degrades == 0 or self.degrade_duration_s > 0,
+            "fetch_degrades > 0 needs degrade_duration_s > 0",
+        )
+        _require(
+            self.fetch_outages == 0 or self.outage_duration_s > 0,
+            "fetch_outages > 0 needs outage_duration_s > 0",
+        )
+        _require(
+            self.degrade_factor >= 1.0,
+            f"degrade_factor must be >= 1, got {self.degrade_factor}",
+        )
+        _require(
+            self.start_s >= 0 and self.end_s >= 0,
+            "injection window must be >= 0",
+        )
+        _require(
+            self.end_s == 0 or self.end_s > self.start_s,
+            f"injection window end ({self.end_s}) must be after its "
+            f"start ({self.start_s})",
+        )
+        _require(
+            self.timeout_ms > 0,
+            f"timeout_ms must be positive, got {self.timeout_ms}",
+        )
+        _require(
+            self.max_retries >= 0,
+            f"max_retries must be >= 0, got {self.max_retries}",
+        )
+        _require(
+            self.backoff_base_ms >= 0 and self.backoff_cap_ms >= 0,
+            "backoff must be >= 0",
+        )
+        _require(
+            self.backoff_cap_ms >= self.backoff_base_ms,
+            f"backoff_cap_ms ({self.backoff_cap_ms}) must be >= "
+            f"backoff_base_ms ({self.backoff_base_ms})",
+        )
+        _require(
+            0.0 <= self.backoff_jitter <= 1.0,
+            f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}",
+        )
+        _require(
+            self.retry_budget >= 0,
+            f"retry_budget must be >= 0, got {self.retry_budget}",
+        )
+        _require(
+            self.stale_penalty >= 0,
+            f"stale_penalty must be >= 0, got {self.stale_penalty}",
+        )
+        for name in (
+            "detection_ms",
+            "restore_ms",
+            "checkpoint_period_s",
+            "replay_rate",
+            "cold_rebuild_ms",
+        ):
+            _require(getattr(self, name) >= 0, f"{name} must be >= 0")
+        _require(
+            self.warm_rows >= 0,
+            f"warm_rows must be >= 0, got {self.warm_rows}",
+        )
+        # Same invariant as ServeSpec: unused knobs stay at defaults.
+        defaults = {f.name: f.default for f in fields(type(self))}
+        if self.replica_hangs == 0:
+            _require(
+                self.hang_duration_s == defaults["hang_duration_s"],
+                "hang_duration_s has no effect with replica_hangs=0; "
+                "leave it at its default",
+            )
+        if self.fetch_degrades == 0:
+            for name in ("degrade_duration_s", "degrade_factor"):
+                _require(
+                    getattr(self, name) == defaults[name],
+                    f"{name} has no effect with fetch_degrades=0; "
+                    f"leave it at its default ({defaults[name]!r})",
+                )
+        if self.fetch_outages == 0:
+            _require(
+                self.outage_duration_s == defaults["outage_duration_s"],
+                "outage_duration_s has no effect with fetch_outages=0; "
+                "leave it at its default",
+            )
+        if self.replica_crashes == 0:
+            for name in (
+                "recover_crashes",
+                "detection_ms",
+                "restore_ms",
+                "checkpoint_period_s",
+                "replay_rate",
+                "cold_rebuild_ms",
+                "warm_rows",
+            ):
+                _require(
+                    getattr(self, name) == defaults[name],
+                    f"{name} has no effect with replica_crashes=0; "
+                    f"leave it at its default ({defaults[name]!r})",
+                )
+
+    @property
+    def num_faults(self) -> int:
+        """Total faults the schedule will inject."""
+        return (
+            self.replica_crashes
+            + self.replica_hangs
+            + self.fetch_degrades
+            + self.fetch_outages
+        )
+
+
+@dataclass(frozen=True)
+class AutoscaleSpec(_SpecBase):
+    """Closed-loop SLO autoscaling over the serving fleet.
+
+    Becomes a :class:`repro.serving.AutoscalePolicy`: the fleet starts
+    at ``serve.fleet_replicas`` and the controller moves it inside
+    ``[min_replicas, max_replicas]`` on windowed p99/queue-depth
+    evidence.  ``min_replicas > max_replicas`` is *not* rejected here —
+    the ``autoscale-bounds-inverted`` speccheck owns that diagnosis, so
+    a stored pathological spec still loads for analysis.
+    """
+
+    slo_p99_ms: float = 5.0
+    min_replicas: int = 1
+    max_replicas: int = 8
+    window_ms: float = 0.0  # observation window; 0 = trace span / 20
+    scale_step: int = 1
+    provision_ms: float = 2.0
+    cooldown_windows: int = 1
+    queue_high: float = 16.0
+    scale_down_margin: float = 0.5
+    warm_rows: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.slo_p99_ms > 0,
+            f"slo_p99_ms must be positive, got {self.slo_p99_ms}",
+        )
+        _require(
+            self.min_replicas >= 1,
+            f"min_replicas must be >= 1, got {self.min_replicas}",
+        )
+        _require(
+            self.max_replicas >= 1,
+            f"max_replicas must be >= 1, got {self.max_replicas}",
+        )
+        _require(
+            self.window_ms >= 0,
+            f"window_ms must be >= 0, got {self.window_ms}",
+        )
+        _require(
+            self.scale_step >= 1,
+            f"scale_step must be >= 1, got {self.scale_step}",
+        )
+        _require(
+            self.provision_ms >= 0,
+            f"provision_ms must be >= 0, got {self.provision_ms}",
+        )
+        _require(
+            self.cooldown_windows >= 0,
+            f"cooldown_windows must be >= 0, got {self.cooldown_windows}",
+        )
+        _require(
+            self.queue_high > 0,
+            f"queue_high must be positive, got {self.queue_high}",
+        )
+        _require(
+            0.0 < self.scale_down_margin < 1.0,
+            f"scale_down_margin must be in (0, 1), got "
+            f"{self.scale_down_margin}",
+        )
+        _require(
+            self.warm_rows >= 0,
+            f"warm_rows must be >= 0, got {self.warm_rows}",
+        )
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RunSpec(_SpecBase):
@@ -744,6 +983,8 @@ class RunSpec(_SpecBase):
     serve: Optional[ServeSpec] = None
     checkpoint: Optional[CheckpointSpec] = None
     tiers: Optional[TierSpec] = None
+    faults: Optional[FaultSpec] = None
+    autoscale: Optional[AutoscaleSpec] = None
 
     _SECTIONS = {
         "cluster": ClusterSpec,
@@ -755,6 +996,8 @@ class RunSpec(_SpecBase):
         "serve": ServeSpec,
         "checkpoint": CheckpointSpec,
         "tiers": TierSpec,
+        "faults": FaultSpec,
+        "autoscale": AutoscaleSpec,
     }
 
     def __post_init__(self) -> None:
@@ -805,6 +1048,18 @@ class RunSpec(_SpecBase):
                 self.serve is not None,
                 "a tiers section configures serving storage and needs "
                 "a serve section to act on",
+            )
+        if self.faults is not None:
+            _require(
+                self.serve is not None and self.serve.uses_fleet,
+                "a faults section injects failures into fleet serving; "
+                "it needs a serve section with fleet_replicas set",
+            )
+        if self.autoscale is not None:
+            _require(
+                self.serve is not None and self.serve.uses_fleet,
+                "an autoscale section scales the serving fleet; it "
+                "needs a serve section with fleet_replicas set",
             )
         if self.checkpoint is not None:
             _require(

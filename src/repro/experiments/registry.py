@@ -42,6 +42,7 @@ DRIVER_MODULES = (
     "serving_fleet",
     "tiered_serving",
     "checkpointing",
+    "fault_tolerance",
 )
 
 _loaded = False

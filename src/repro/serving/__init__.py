@@ -25,14 +25,31 @@ on the same cost-model machinery:
   multi-level :class:`CacheChain` (HBM/DRAM/SSD) over an HBM or
   remote-parameter-server backing, priced per
   :class:`~repro.hardware.MemoryTierSpec`, with the classic single-tier
-  path as the bit-identical degenerate preset.
+  path as the bit-identical degenerate preset;
+- :mod:`repro.serving.faults` — seeded fault injection (replica
+  crash/hang, fetch-tier degradation/outage) with client-side
+  timeout/retry/backoff, degraded-mode serving, and crash recovery
+  priced by an MTTR model — the :class:`ResilientFleet` replay;
+- :mod:`repro.serving.autoscale` — the closed-loop SLO autoscaler
+  watching windowed p99/queue depth and scaling the fleet between
+  bounds with priced warm-start prefill.
 """
 
+from repro.serving.autoscale import AutoscalePolicy, SLOAutoscaler
 from repro.serving.batcher import MicroBatch, MicroBatcher
 from repro.serving.cache import (
     CacheStats,
     LRUEmbeddingCache,
     ReferenceLRUCache,
+)
+from repro.serving.faults import (
+    FAULT_KINDS,
+    FaultConfig,
+    FaultEvent,
+    FaultReport,
+    RecoveryModel,
+    ResilientFleet,
+    RetryPolicy,
 )
 from repro.serving.fleet import (
     ConsistentHashRouter,
@@ -109,4 +126,13 @@ __all__ = [
     "storage_dollars",
     "dollars_per_1k_requests",
     "DEFAULT_AMORTIZATION_S",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultConfig",
+    "RetryPolicy",
+    "RecoveryModel",
+    "FaultReport",
+    "ResilientFleet",
+    "AutoscalePolicy",
+    "SLOAutoscaler",
 ]

@@ -68,6 +68,15 @@ class Router:
     Stateful policies re-seed in :meth:`bind`, so routing the same
     trace twice gives the same assignment — fleet runs stay
     bit-reproducible.
+
+    Routers carry a **live-membership mask** so dead or drained
+    replicas are never routed to: :meth:`set_live` flips membership
+    (the consistent-hash ring rebuilds over the surviving vnodes, the
+    other policies filter to live replicas), and :meth:`route_one`
+    routes a single request incrementally — the entry point the
+    fault-injecting replay uses between membership changes.  With every
+    replica live, all policies route bit-identically to the
+    pre-membership implementation.
     """
 
     name = "base"
@@ -78,9 +87,39 @@ class Router:
                 f"num_replicas must be >= 1, got {num_replicas}"
             )
         self.num_replicas = num_replicas
+        self._live = np.ones(num_replicas, dtype=bool)
         self._reset()
 
     def _reset(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    @property
+    def live_replicas(self) -> np.ndarray:
+        """Indices of replicas currently accepting traffic (sorted)."""
+        return np.flatnonzero(self._live)
+
+    def set_live(self, live: Sequence[bool]) -> None:
+        """Update the live-membership mask (length ``num_replicas``).
+
+        No-op when the mask is unchanged; otherwise the policy's
+        membership hook runs (ring rebuild for consistent hashing).
+        At least one replica must stay live — a router with nowhere to
+        send traffic is a caller bug.
+        """
+        mask = np.asarray(live, dtype=bool)
+        if mask.shape != (self.num_replicas,):
+            raise ValueError(
+                f"live mask must have length {self.num_replicas}, got "
+                f"shape {mask.shape}"
+            )
+        if not mask.any():
+            raise ValueError("at least one replica must stay live")
+        if np.array_equal(mask, self._live):
+            return
+        self._live = mask.copy()
+        self._on_membership()
+
+    def _on_membership(self) -> None:  # pragma: no cover - default no-op
         pass
 
     def route_trace(
@@ -91,16 +130,49 @@ class Router:
         estimates."""
         raise NotImplementedError
 
+    def route_one(
+        self,
+        req: Request,
+        now_s: float,
+        depths: Optional[np.ndarray] = None,
+    ) -> int:
+        """Route one request at ``now_s`` among the live replicas.
+
+        ``depths`` (length ``num_replicas``) carries instantaneous
+        queue depths for load-aware policies; dead entries are ignored
+        via the live mask.
+        """
+        raise NotImplementedError
+
 
 class RoundRobinRouter(Router):
-    """Cycle through replicas in request order."""
+    """Cycle through replicas in request order (live replicas only)."""
 
     name = "round_robin"
+
+    def _reset(self) -> None:
+        self._cursor = 0
 
     def route_trace(
         self, requests: Sequence[Request], window_s: float
     ) -> np.ndarray:
-        return np.arange(len(requests)) % self.num_replicas
+        live = self.live_replicas
+        positions = (self._cursor + np.arange(len(requests))) % len(live)
+        self._cursor = int(
+            (self._cursor + len(requests)) % len(live)
+        )
+        return live[positions]
+
+    def route_one(
+        self,
+        req: Request,
+        now_s: float,
+        depths: Optional[np.ndarray] = None,
+    ) -> int:
+        live = self.live_replicas
+        rep = int(live[self._cursor % len(live)])
+        self._cursor = (self._cursor + 1) % len(live)
+        return rep
 
 
 class ConsistentHashRouter(Router):
@@ -131,8 +203,26 @@ class ConsistentHashRouter(Router):
             + salts.astype(np.uint64)
         )
         order = np.argsort(points, kind="stable")
-        self._ring_points = points[order]
-        self._ring_replicas = replicas[order]
+        # Full ring over every replica; the live ring below filters it.
+        self._all_points = points[order]
+        self._all_replicas = replicas[order]
+        self._rebuild_ring()
+
+    def _on_membership(self) -> None:
+        self._rebuild_ring()
+
+    def _rebuild_ring(self) -> None:
+        """Drop dead replicas' vnodes; surviving points keep their
+        positions, so only ~1/N of the key space moves per death —
+        the consistent-hashing contract, now honored on failure too."""
+        keep = self._live[self._all_replicas]
+        self._ring_points = self._all_points[keep]
+        self._ring_replicas = self._all_replicas[keep]
+
+    def _lookup(self, hashed: np.ndarray) -> np.ndarray:
+        slots = np.searchsorted(self._ring_points, hashed)
+        slots[slots == len(self._ring_points)] = 0  # wrap around the ring
+        return self._ring_replicas[slots]
 
     def route_trace(
         self, requests: Sequence[Request], window_s: float
@@ -142,9 +232,16 @@ class ConsistentHashRouter(Router):
             dtype=np.int64,
             count=len(requests),
         )
-        slots = np.searchsorted(self._ring_points, _splitmix64(primary))
-        slots[slots == len(self._ring_points)] = 0  # wrap around the ring
-        return self._ring_replicas[slots]
+        return self._lookup(_splitmix64(primary))
+
+    def route_one(
+        self,
+        req: Request,
+        now_s: float,
+        depths: Optional[np.ndarray] = None,
+    ) -> int:
+        hashed = _splitmix64(np.asarray([req.keys[0]], dtype=np.int64))
+        return int(self._lookup(hashed)[0])
 
 
 class PowerOfTwoChoicesRouter(Router):
@@ -163,12 +260,18 @@ class PowerOfTwoChoicesRouter(Router):
     def __init__(self, seed: int = 0):
         self.seed = seed
 
+    def _reset(self) -> None:
+        # Incremental stream for route_one; route_trace re-seeds its
+        # own generator per call (the original whole-trace semantics).
+        self._rng = np.random.default_rng(self.seed)
+
     def route_trace(
         self, requests: Sequence[Request], window_s: float
     ) -> np.ndarray:
-        n, num = len(requests), self.num_replicas
+        live = self.live_replicas
+        n, num = len(requests), len(live)
         if num == 1:
-            return np.zeros(n, dtype=np.int64)
+            return np.full(n, int(live[0]), dtype=np.int64)
         rng = np.random.default_rng(self.seed)
         first = rng.integers(0, num, size=n)
         second = (first + 1 + rng.integers(0, num - 1, size=n)) % num
@@ -182,8 +285,25 @@ class PowerOfTwoChoicesRouter(Router):
                     q.popleft()
             chosen = a if len(windows[a]) <= len(windows[b]) else b
             windows[chosen].append(now)
-            assignment[i] = chosen
+            assignment[i] = int(live[chosen])
         return assignment
+
+    def route_one(
+        self,
+        req: Request,
+        now_s: float,
+        depths: Optional[np.ndarray] = None,
+    ) -> int:
+        live = self.live_replicas
+        num = len(live)
+        if num == 1:
+            return int(live[0])
+        a_pos = int(self._rng.integers(0, num))
+        b_pos = int((a_pos + 1 + self._rng.integers(0, num - 1)) % num)
+        a, b = int(live[a_pos]), int(live[b_pos])
+        if depths is None:
+            return a
+        return a if depths[a] <= depths[b] else b
 
 
 def make_router(policy: str, seed: int = 0) -> Router:

@@ -228,6 +228,7 @@ class PlacementEngine:
         host_share: float = 1.0,
         label_suffix: str = "",
         extra_compute_s: float = 0.0,
+        fetch_scale: float = 1.0,
     ) -> Tuple[float, float, float, float]:
         """Price one served batch and append its timeline events.
 
@@ -239,7 +240,10 @@ class PlacementEngine:
         servers' busy-until times.  ``extra_compute_s`` is additional
         local time folded into the COMPUTE phase — the tiered cache
         chain's below-HBM hop costs (0.0 for the single-level cache, so
-        the classic paths price bit-identically).
+        the classic paths price bit-identically).  ``fetch_scale``
+        stretches the fetch seconds — the fault layer's brownout
+        multiplier (>= 1.0 slows the tier; 1.0 is an exact IEEE-754
+        identity, so healthy paths price bit-identically).
 
         Returns ``(done_s, fetch_s, compute_s, queue_s)`` — the batch
         completion time and the per-phase seconds just recorded
@@ -253,6 +257,7 @@ class PlacementEngine:
             t_fetch, priced_nbytes, fetch_world = self.fetch_timing(
                 num_misses
             )
+            t_fetch = t_fetch * fetch_scale
             fetch_end = fetch_start + t_fetch
             fetch_free[server] = fetch_end
             timeline.add(
@@ -295,6 +300,45 @@ class ServingReport:
     cache_misses: int
     cache_hit_rate: float
     breakdown_ms: Dict[str, float]  # timeline phase -> total ms
+
+    @classmethod
+    def empty(cls, placement: str, model: str) -> "ServingReport":
+        """Explicit zero-traffic marker.
+
+        A drained or just-crashed replica can finish a window having
+        served nothing; percentiles and throughput are undefined there,
+        and the old path crashed (``max()`` on an empty arrival list,
+        division by ``num_batches == 0``).  The marker keeps the report
+        shape (all-zero stats, ``offered_qps=None``) and is detectable
+        via :attr:`is_empty` — callers must not read latency quantiles
+        off an empty report as if they were measurements.
+        """
+        return cls(
+            placement=placement,
+            model=model,
+            num_requests=0,
+            num_batches=0,
+            mean_batch_size=0.0,
+            offered_qps=None,
+            throughput_rps=0.0,
+            makespan_s=0.0,
+            latency_ms={
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "mean": 0.0,
+                "max": 0.0,
+            },
+            cache_hits=0,
+            cache_misses=0,
+            cache_hit_rate=0.0,
+            breakdown_ms={},
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the zero-traffic marker (no requests served)."""
+        return self.num_requests == 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -340,8 +384,12 @@ def build_report(
 
     Shared by the single service and the fleet (per replica and
     aggregate), so every report computes percentiles, throughput, and
-    offered load the same way.
+    offered load the same way.  A zero-request trace (a replica drained
+    before serving anything) yields the explicit
+    :meth:`ServingReport.empty` marker instead of dividing by zero.
     """
+    if len(requests) == 0 or num_batches == 0:
+        return ServingReport.empty(placement, model)
     arrivals = [r.arrival_s for r in requests]
     span = max(arrivals) - min(arrivals)
     offered = (len(requests) - 1) / span if span > 0 else None

@@ -19,9 +19,11 @@ import pytest
 from repro.analysis import SpecAnalysisError, analyze_spec, registered_checks
 from repro.api import Session, SpecError, presets
 from repro.api.spec import (
+    AutoscaleSpec,
     CheckpointSpec,
     ClusterSpec,
     DataSpec,
+    FaultSpec,
     ModelSpec,
     PartitionSpec,
     PerfSpec,
@@ -85,12 +87,19 @@ class TestPropertyEveryRealSpecValidates:
     def test_experiment_specs_pass(self, fast):
         from repro.experiments import (
             checkpointing,
+            fault_tolerance,
             serving,
             serving_fleet,
             tiered_serving,
         )
 
-        for mod in (serving, serving_fleet, tiered_serving, checkpointing):
+        for mod in (
+            serving,
+            serving_fleet,
+            tiered_serving,
+            checkpointing,
+            fault_tolerance,
+        ):
             for arm, spec in mod.experiment_specs(fast=fast).items():
                 bad = error_codes(spec)
                 assert bad == [], (mod.__name__, arm, bad)
@@ -98,12 +107,19 @@ class TestPropertyEveryRealSpecValidates:
     def test_session_analyze_passes_for_experiment_presets(self):
         from repro.experiments import (
             checkpointing,
+            fault_tolerance,
             serving,
             serving_fleet,
             tiered_serving,
         )
 
-        for mod in (serving, serving_fleet, tiered_serving, checkpointing):
+        for mod in (
+            serving,
+            serving_fleet,
+            tiered_serving,
+            checkpointing,
+            fault_tolerance,
+        ):
             for spec in mod.experiment_specs().values():
                 diags = Session(spec).analyze()
                 assert not [d for d in diags if d.severity == "error"]
@@ -288,6 +304,69 @@ class TestNegativeSeededBrokenSpecs:
         )
         assert error_codes(fixed) == []
 
+    def _fault_spec(self, faults=None, autoscale=None, **serve_overrides):
+        serve = dict(
+            qps=50_000.0, num_requests=2000, key_space=2000,
+            cache_rows=256, placement="disaggregated", emb_hosts=1,
+            fleet_replicas=3,
+        )
+        serve.update(serve_overrides)
+        return RunSpec(
+            cluster=ClusterSpec(num_hosts=4, gpus_per_host=2),
+            serve=ServeSpec(**serve),
+            faults=faults,
+            autoscale=autoscale,
+        )
+
+    def test_clean_fault_autoscale_spec_passes(self):
+        spec = self._fault_spec(
+            faults=FaultSpec(replica_crashes=1),
+            autoscale=AutoscaleSpec(
+                slo_p99_ms=2.0, min_replicas=2, max_replicas=4
+            ),
+        )
+        assert error_codes(spec) == []
+
+    def test_fault_outside_trace(self):
+        # The trace spans 2000 / 50k qps = 0.04 s; the injection window
+        # opens at t = 1 s, after every request has been served.
+        spec = self._fault_spec(
+            faults=FaultSpec(replica_crashes=1, start_s=1.0, end_s=2.0),
+        )
+        assert error_codes(spec) == ["fault-outside-trace"]
+
+    def test_retry_budget_zero_with_faults(self):
+        spec = self._fault_spec(
+            faults=FaultSpec(replica_crashes=1, max_retries=0),
+        )
+        assert error_codes(spec) == ["retry-budget-zero-with-faults"]
+        spec = self._fault_spec(
+            faults=FaultSpec(replica_crashes=1, retry_budget=0.0),
+        )
+        assert error_codes(spec) == ["retry-budget-zero-with-faults"]
+
+    def test_autoscale_bounds_inverted(self):
+        spec = self._fault_spec(
+            autoscale=AutoscaleSpec(min_replicas=5, max_replicas=2),
+        )
+        assert error_codes(spec) == ["autoscale-bounds-inverted"]
+        # Bounds ordered, but the initial fleet sits outside them.
+        spec = self._fault_spec(
+            autoscale=AutoscaleSpec(min_replicas=4, max_replicas=8),
+        )
+        assert error_codes(spec) == ["autoscale-bounds-inverted"]
+
+    def test_degraded_mode_without_backing(self):
+        spec = self._fault_spec(
+            faults=FaultSpec(
+                fetch_outages=1,
+                outage_duration_s=0.005,
+                degraded_mode=True,
+            ),
+            cache_rows=0,
+        )
+        assert error_codes(spec) == ["degraded-mode-without-backing"]
+
     def test_invalid_dict_input_maps_to_spec_invalid(self):
         diags = analyze_spec({"serve": {"qps": -5.0}})
         assert [d.code for d in diags] == ["spec-invalid"]
@@ -309,6 +388,10 @@ class TestNegativeSeededBrokenSpecs:
             "tier-capacity-misordered",
             "tier-overflow",
             "tier-dead-remote",
+            "fault-outside-trace",
+            "retry-budget-zero-with-faults",
+            "autoscale-bounds-inverted",
+            "degraded-mode-without-backing",
         } <= names
 
 

@@ -15,7 +15,9 @@ from repro.serving import (
     Request,
     RequestStream,
     ServingModel,
+    ServingReport,
     WorkloadConfig,
+    build_report,
 )
 from repro.serving.service import ID_WIRE_BYTES
 from repro.sim import Phase, SimCluster
@@ -578,3 +580,47 @@ class TestServeSpec:
         coloc = result.serve["placements"]["colocated"]
         assert "hit_rate" in coloc["cache"]
         assert "embedding_comm" in coloc["breakdown_ms"]
+
+
+class TestEmptyReportMarker:
+    """Regression: a replica can finish a trace (or an autoscaler
+    window) having served nothing; the old ``build_report`` crashed on
+    ``max()`` over an empty arrival list.  The explicit empty marker
+    keeps the report shape and is detectable."""
+
+    def test_empty_marker_shape_and_flag(self):
+        report = ServingReport.empty("disaggregated", "tiny")
+        assert report.is_empty
+        assert report.num_requests == 0
+        assert report.offered_qps is None
+        assert report.latency_ms["p99"] == 0.0
+        # Round-trips through the dict form like any other report.
+        assert report.to_dict()["num_requests"] == 0
+
+    def test_build_report_returns_marker_on_zero_traffic(self):
+        report = build_report(
+            placement="colocated",
+            model="tiny",
+            requests=[],
+            num_batches=0,
+            latencies_s=np.asarray([]),
+            last_done_s=0.0,
+            hits=0,
+            misses=0,
+            breakdown_ms={},
+        )
+        assert report.is_empty
+
+    def test_served_report_is_not_empty(self):
+        report = build_report(
+            placement="colocated",
+            model="tiny",
+            requests=[req(0, 0.0, keys=(1, 2))],
+            num_batches=1,
+            latencies_s=np.asarray([0.001]),
+            last_done_s=0.002,
+            hits=1,
+            misses=1,
+            breakdown_ms={},
+        )
+        assert not report.is_empty

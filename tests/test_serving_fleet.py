@@ -216,6 +216,86 @@ class TestRouters:
 
 
 # ----------------------------------------------------------------------
+class TestRouterMembership:
+    """Live-membership masks: dead or drained replicas must never be
+    routed to, under any policy and any membership history."""
+
+    def test_set_live_validation(self):
+        router = RoundRobinRouter()
+        router.bind(4)
+        with pytest.raises(ValueError, match="length 4"):
+            router.set_live([True, False])
+        with pytest.raises(ValueError, match="at least one"):
+            router.set_live([False] * 4)
+
+    def test_all_live_matches_pre_membership_routing(self):
+        """With every replica live, set_live is a no-op: the routed
+        assignment is identical to a router that never heard of
+        membership."""
+        reqs = trace(n=600, seed=8)
+        for name in ROUTER_POLICIES:
+            fresh = make_router(name)
+            fresh.bind(5)
+            touched = make_router(name)
+            touched.bind(5)
+            touched.set_live([True] * 5)
+            assert np.array_equal(
+                fresh.route_trace(reqs, 0.001),
+                touched.route_trace(reqs, 0.001),
+            )
+
+    def test_dead_replicas_never_routed_fuzz(self):
+        """Fuzz membership churn: random masks between bursts of
+        route_one calls; every routed replica must be live at the time
+        of routing, for every policy."""
+        rng = np.random.default_rng(42)
+        reqs = trace(n=400, seed=9)
+        for name in ROUTER_POLICIES:
+            router = make_router(name)
+            router.bind(6)
+            cursor = 0
+            for _ in range(24):
+                mask = rng.random(6) < 0.6
+                if not mask.any():
+                    mask[int(rng.integers(0, 6))] = True
+                router.set_live(mask)
+                live = set(router.live_replicas.tolist())
+                depths = rng.integers(0, 8, size=6).astype(np.float64)
+                for _ in range(12):
+                    req_ = reqs[cursor % len(reqs)]
+                    cursor += 1
+                    rep = router.route_one(
+                        req_, req_.arrival_s, depths=depths
+                    )
+                    assert rep in live
+
+    def test_route_trace_respects_membership(self):
+        reqs = trace(n=600, seed=10)
+        for name in ROUTER_POLICIES:
+            router = make_router(name)
+            router.bind(5)
+            router.set_live([True, False, True, False, True])
+            assignment = router.route_trace(reqs, 0.001)
+            assert set(assignment.tolist()) <= {0, 2, 4}
+
+    def test_hash_ring_rebuild_moves_only_the_dead_replicas_keys(self):
+        """Consistent hashing honored on failure: killing one replica
+        re-homes only the keys it owned — survivors keep theirs."""
+        reqs = trace(n=2000, seed=2, key_space=50_000)
+        router = ConsistentHashRouter()
+        router.bind(6)
+        before = router.route_trace(reqs, 0.001)
+        router.set_live([True, True, True, False, True, True])
+        after = router.route_trace(reqs, 0.001)
+        survivors = before != 3
+        assert np.array_equal(before[survivors], after[survivors])
+        assert not np.any(after == 3)
+        # Revival restores the original assignment exactly.
+        router.set_live([True] * 6)
+        assert np.array_equal(before, router.route_trace(reqs, 0.001))
+
+
+# ----------------------------------------------------------------------
 class TestServingFleet:
     def test_every_request_served_exactly_once(self):
         reqs = trace(n=1111)
