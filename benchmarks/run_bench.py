@@ -28,6 +28,13 @@ Two targets, selected with ``--bench``:
   overhead (p99 vs baseline, retried fraction), the degraded-serve
   fraction, and the MTTR-vs-cadence ladder (with a monotonicity
   verdict).  Writes ``BENCH_faults.json``.
+- ``freshness`` — the train->serve loop: runs the online-training
+  driver under hot-set churn (delta checkpoints, canary-gated staged
+  hot swaps on a ResilientFleet) against a frozen arm serving the
+  identical trace at the same replica count.  Records the per-window
+  AUC gap, the mean online-vs-frozen AUC gain, the delta-over-full
+  checkpoint compression, and the swap count.  Writes
+  ``BENCH_freshness.json``.
 
 ``--fast`` shrinks any target for CI smoke.
 
@@ -564,6 +571,68 @@ def bench_faults(args) -> dict:
     return record
 
 
+def bench_freshness(args) -> dict:
+    """Online-vs-frozen AUC gain and delta-checkpoint compression."""
+    import tempfile
+
+    from repro.experiments.model_freshness import freshness_spec
+    from repro.api import Session
+
+    fast = bool(args.fast)
+    print(f"benchmarking model freshness "
+          f"({'fast' if fast else 'full'} geometry) ...", flush=True)
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        spec = freshness_spec(fast, directory=tmp)
+        if args.requests is not None:
+            spec = spec.replace(
+                serve=spec.serve.replace(num_requests=args.requests)
+            )
+        art = Session(spec).online()
+    wall = time.perf_counter() - start
+
+    rep = art.report
+    summary = art.summary()
+    auc_gain = art.mean_online_auc - art.mean_frozen_auc
+    for w in rep.windows:
+        print(f"  window {w['window']}: frozen {w['frozen_auc']:.4f} "
+              f"vs online {w['online_auc']:.4f} "
+              f"(serving v{w['deployed_version']}, "
+              f"staleness {w['staleness_windows']})", flush=True)
+
+    record = {
+        "bench": "freshness",
+        "version": BENCH_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "spec": spec.to_dict(),
+            "fast": fast,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            "online": summary,
+            "windows": rep.windows,
+            "num_swaps": len(art.swap_events),
+            "wall_clock_s": wall,
+        },
+        "mean_auc_gain_online_over_frozen": auc_gain,
+        "freshness_dominates": bool(art.freshness_dominates),
+        "delta_compression_over_full": rep.delta_compression,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"mean AUC gain (online over frozen): {auc_gain:+.4f} "
+          f"(dominates: {record['freshness_dominates']}), deltas "
+          f"{rep.delta_compression:.1f}x smaller than full saves "
+          f"-> wrote {args.out}")
+    return record
+
+
 def bench_sparse(args) -> dict:
     results = {}
     for mode in ("rowwise", "dense"):
@@ -613,7 +682,8 @@ def bench_sparse(args) -> dict:
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench",
-                        choices=("sparse", "serving", "tiering", "faults"),
+                        choices=("sparse", "serving", "tiering", "faults",
+                                 "freshness"),
                         default="sparse")
     parser.add_argument("--fast", action="store_true",
                         help="CI smoke geometry (seconds, not minutes)")
@@ -643,6 +713,7 @@ def main(argv=None) -> dict:
             "serving": "BENCH_serving.json",
             "tiering": "BENCH_tiering.json",
             "faults": "BENCH_faults.json",
+            "freshness": "BENCH_freshness.json",
             "sparse": "BENCH_sparse_path.json",
         }[args.bench]
     if args.bench == "serving":
@@ -657,6 +728,10 @@ def main(argv=None) -> dict:
         if args.requests is None:
             args.requests = 30_000 if args.fast else 120_000
         return bench_faults(args)
+    if args.bench == "freshness":
+        # requests default comes from the spec geometry; --requests
+        # overrides the serve trace length if given.
+        return bench_freshness(args)
 
     if args.fast:
         defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)

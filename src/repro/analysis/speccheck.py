@@ -584,6 +584,68 @@ def _check_degraded_backing(spec: RunSpec):
 
 
 # ----------------------------------------------------------------------
+# Online-training checks
+# ----------------------------------------------------------------------
+@spec_check("delta-without-base")
+def _check_delta_base(spec: RunSpec):
+    if spec.online is None:
+        return
+    if spec.checkpoint is None:
+        yield _diag(
+            "error",
+            "delta-without-base",
+            "an online section emits delta checkpoints, which chain "
+            "onto a base full save under checkpoint.directory — but "
+            "the spec has no checkpoint section",
+            "online",
+            "add a checkpoint section (its directory roots the "
+            "online delta chain)",
+        )
+
+
+@spec_check("rollout-exceeds-replicas")
+def _check_rollout_stages(spec: RunSpec):
+    on = spec.online
+    if on is None or not on.rollout_stages:
+        return
+    if spec.serve is None or spec.serve.fleet_replicas is None:
+        return  # missing fleet is diagnosed at spec construction
+    top = max(on.rollout_stages)
+    if top > spec.serve.fleet_replicas:
+        yield _diag(
+            "error",
+            "rollout-exceeds-replicas",
+            f"online.rollout_stages peaks at {top} replicas but the "
+            f"fleet only has serve.fleet_replicas="
+            f"{spec.serve.fleet_replicas}; the final rollout stage "
+            f"can never complete",
+            "online.rollout_stages",
+            "cap the last stage at fleet_replicas (or drop "
+            "rollout_stages for the automatic canary/half/all "
+            "schedule)",
+        )
+
+
+@spec_check("canary-threshold-invalid")
+def _check_canary_threshold(spec: RunSpec):
+    on = spec.online
+    if on is None:
+        return
+    if not 0.0 <= on.canary_threshold < 0.5:
+        yield _diag(
+            "error",
+            "canary-threshold-invalid",
+            f"online.canary_threshold={on.canary_threshold:g} is not "
+            f"a usable eval-AUC regression tolerance: negative rolls "
+            f"back every deploy, and >= 0.5 waves through a model "
+            f"worse than coin-flipping",
+            "online.canary_threshold",
+            "pick a tolerance in [0, 0.5) — 0.01 rolls back anything "
+            "that costs more than a point of AUC",
+        )
+
+
+# ----------------------------------------------------------------------
 # Checkpoint-plane checks
 # ----------------------------------------------------------------------
 @spec_check("checkpoint-resume-missing")

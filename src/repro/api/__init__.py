@@ -30,6 +30,7 @@ from repro.api.spec import (
     DataSpec,
     FaultSpec,
     ModelSpec,
+    OnlineSpec,
     PartitionSpec,
     PerfSpec,
     RunSpec,
@@ -41,6 +42,7 @@ from repro.api.spec import (
 from repro.api.results import (
     CheckpointArtifact,
     DataArtifact,
+    OnlineArtifact,
     PartitionArtifact,
     PlanArtifact,
     PriceArtifact,
@@ -63,6 +65,7 @@ __all__ = [
     "TierSpec",
     "FaultSpec",
     "AutoscaleSpec",
+    "OnlineSpec",
     "RunSpec",
     "SpecError",
     "Session",
@@ -75,5 +78,6 @@ __all__ = [
     "ServeArtifact",
     "CheckpointArtifact",
     "TierPlanArtifact",
+    "OnlineArtifact",
     "RunResult",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "ServeArtifact",
     "CheckpointArtifact",
     "TierPlanArtifact",
+    "OnlineArtifact",
     "RunResult",
     "jsonable",
 ]
@@ -285,6 +286,72 @@ class TierPlanArtifact:
         }
 
 
+@dataclass
+class OnlineArtifact:
+    """Outcome of the online-training freshness loop.
+
+    ``report`` is the :class:`repro.online.OnlineReport` (per-window
+    staleness/AUC curve, checkpoint chain, rollout decisions);
+    ``swap_events`` the planned hot-swap schedule; ``fault_reports``
+    the two serving arms replayed on the same trace at equal
+    provisioned cost — ``"online"`` (with swaps) and ``"frozen"``
+    (without).
+    """
+
+    report: Any  # repro.online.OnlineReport
+    swap_events: List[Any] = field(default_factory=list)
+    fault_reports: Dict[str, FaultReport] = field(default_factory=dict)
+    placement: str = "disaggregated"
+
+    @property
+    def mean_online_auc(self) -> float:
+        return float(
+            np.mean([w["online_auc"] for w in self.report.windows[1:]])
+        )
+
+    @property
+    def mean_frozen_auc(self) -> float:
+        return float(
+            np.mean([w["frozen_auc"] for w in self.report.windows[1:]])
+        )
+
+    @property
+    def freshness_dominates(self) -> bool:
+        """True when the hot-swapped arm strictly beats the frozen arm
+        on every window after the arms diverge (window 1 both still
+        serve v1, so the comparison starts at window 2)."""
+        diverged = self.report.windows[2:]
+        if not diverged:
+            return False
+        return all(
+            w["online_auc"] > w["frozen_auc"] for w in diverged
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        rep = self.report
+        out: Dict[str, Any] = {
+            "placement": self.placement,
+            "num_windows": len(rep.windows),
+            "num_versions": rep.num_versions,
+            "num_rollbacks": rep.num_rollbacks,
+            "num_swaps": len(self.swap_events),
+            "staleness_curve": rep.staleness_curve(),
+            "mean_online_auc": self.mean_online_auc,
+            "mean_frozen_auc": self.mean_frozen_auc,
+            "freshness_dominates": self.freshness_dominates,
+            "full_nbytes": int(rep.full_nbytes),
+            "mean_delta_nbytes": float(rep.mean_delta_nbytes),
+            "delta_compression": float(rep.delta_compression),
+        }
+        if self.fault_reports:
+            out["arms"] = {}
+            for name, fault in self.fault_reports.items():
+                detail = fault.to_dict()
+                detail.pop("fleet", None)
+                out["arms"][name] = detail
+        return out
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class RunResult:
@@ -301,6 +368,7 @@ class RunResult:
     serve: Optional[Dict[str, Any]] = None
     checkpoint: Optional[Dict[str, Any]] = None
     tier_plan: Optional[Dict[str, Any]] = None
+    online: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def cluster_summary(cluster: Cluster) -> Dict[str, Any]:
@@ -315,7 +383,7 @@ class RunResult:
         out: Dict[str, Any] = {"name": self.name, "spec": self.spec}
         for section in (
             "cluster", "data", "partition", "plan", "train", "price",
-            "serve", "checkpoint", "tier_plan",
+            "serve", "checkpoint", "tier_plan", "online",
         ):
             value = getattr(self, section)
             if value is not None:
@@ -452,4 +520,23 @@ class RunResult:
                 lines.append(
                     f"  serve warm-start rows: {ck['warm_start_rows']}"
                 )
+        if self.online is not None:
+            on = self.online
+            lines.append(
+                f"online [{on['placement']}]: {on['num_windows']} windows, "
+                f"{on['num_versions']} versions deployed "
+                f"({on['num_rollbacks']} rollbacks, {on['num_swaps']} "
+                f"replica swaps)"
+            )
+            lines.append(
+                f"  fresh AUC {on['mean_online_auc']:.4f} vs frozen "
+                f"{on['mean_frozen_auc']:.4f} "
+                f"({'dominates' if on['freshness_dominates'] else 'mixed'})"
+            )
+            lines.append(
+                f"  delta checkpoints {on['delta_compression']:.1f}x "
+                f"smaller than full saves "
+                f"({on['mean_delta_nbytes'] / 1024.0:.1f} KiB vs "
+                f"{on['full_nbytes'] / 1024.0:.1f} KiB)"
+            )
         return "\n".join(lines)

@@ -32,6 +32,7 @@ import numpy as np
 from repro.api.results import (
     CheckpointArtifact,
     DataArtifact,
+    OnlineArtifact,
     PartitionArtifact,
     PlanArtifact,
     PriceArtifact,
@@ -44,6 +45,7 @@ from repro.api.spec import (
     CheckpointSpec,
     DataSpec,
     ModelSpec,
+    OnlineSpec,
     PartitionSpec,
     RunSpec,
     ServeSpec,
@@ -92,6 +94,7 @@ from repro.serving import (
     make_tiered_fleet,
     make_tiered_service,
 )
+from repro.online import OnlineDriver, RolloutPlanner
 from repro.sim import SimCluster
 from repro.training import TrainConfig, Trainer
 
@@ -315,12 +318,19 @@ class Session:
 
         return self._stage("partition", build)
 
-    def _make_model(self):
-        """A fresh model instance per the model spec (not cached)."""
+    def _make_model(self, cardinality: Optional[int] = None):
+        """A fresh model instance per the model spec (not cached).
+
+        ``cardinality`` overrides the table row count (the online stage
+        builds tables larger than the live vocabulary so hot-set churn
+        has fresh rows to rotate into).
+        """
         data: DataSpec = self._need("data")
         model: ModelSpec = self._need("model")
         tables = tiny_table_configs(
-            data.num_sparse, data.cardinality, model.embedding_dim
+            data.num_sparse,
+            cardinality if cardinality is not None else data.cardinality,
+            model.embedding_dim,
         )
         arch = DenseArch(
             embedding_dim=model.embedding_dim,
@@ -473,6 +483,10 @@ class Session:
                     every_steps=ck.save_every_steps,
                     keep_last=ck.keep_last,
                 )
+                # The resumed-from checkpoint stays live (a re-resume,
+                # a serve warm-start, a delta chain's base may all
+                # still reference it) — exempt it from retention.
+                manager.pin(ck.resume_from)
                 save_kwargs = self._checkpoint_save_kwargs()
 
                 def on_step_end(tr, _m=manager, _kw=save_kwargs):
@@ -950,6 +964,161 @@ class Session:
 
         return self._stage("tier_plan", build)
 
+    def online(self) -> OnlineArtifact:
+        """Run the train→serve freshness loop (online section).
+
+        Streams ``online.windows`` windows of the data section's click
+        logs through a fresh trainer under **hot-set churn**: the live
+        vocabulary (``data.cardinality`` ids per feature) is embedded
+        into tables ``online.table_multiplier``\\ x larger, and every
+        window boundary ``online.churn_fraction`` of the live slots
+        remap to fresh (untrained) rows.  The
+        :class:`~repro.online.OnlineDriver` emits a delta checkpoint
+        per window and canary-gates each deploy; the resulting rollout
+        schedule is replayed as staged hot swaps on a
+        :class:`~repro.serving.ResilientFleet` against a frozen arm on
+        the *same* request trace — equal provisioned cost, so any AUC
+        gap is pure freshness.
+        """
+
+        def build() -> OnlineArtifact:
+            on: OnlineSpec = self._need("online")
+            serve: ServeSpec = self._need("serve")
+            train = self._need("train")
+            ck: CheckpointSpec = self._need("checkpoint")
+            data: DataSpec = self._need("data")
+            self._ensure_analyzed()
+            cluster = self.build_cluster()
+            dataset = _dataset_for(data)
+
+            hot = data.cardinality
+            card = hot * on.table_multiplier
+            model = self._make_model(cardinality=card)
+            trainer = Trainer(
+                model,
+                TrainConfig(
+                    batch_size=train.batch_size,
+                    epochs=train.epochs,
+                    dense_lr=train.dense_lr,
+                    sparse_lr=train.sparse_lr,
+                    dense_optimizer=train.dense_optimizer,
+                    sparse_grad_mode=train.sparse_grad_mode,
+                    warmup_steps=train.warmup_steps,
+                    seed=train.seed,
+                ),
+            )
+
+            # The churned stream: per-feature hot-slot -> table-row
+            # maps, re-pointed for a fraction of slots each boundary.
+            rng = np.random.default_rng(on.seed)
+            num_sparse = data.num_sparse
+            maps = np.stack(
+                [
+                    rng.choice(card, size=hot, replace=False)
+                    for _ in range(num_sparse)
+                ]
+            )
+            cols = np.arange(num_sparse)
+            windows = []
+            for w in range(on.windows):
+                if w > 0 and on.churn_fraction > 0:
+                    churned = max(1, int(round(on.churn_fraction * hot)))
+                    for f in range(num_sparse):
+                        slots = rng.choice(hot, size=churned, replace=False)
+                        maps[f, slots] = rng.choice(
+                            card, size=churned, replace=False
+                        )
+                td, ti, tl = dataset.sample(
+                    on.window_samples, seed=data.sample_seed + 1000 * (w + 1)
+                )
+                ed, ei, el = dataset.sample(
+                    on.eval_samples,
+                    seed=data.sample_seed + 1000 * (w + 1) + 500,
+                )
+                windows.append(
+                    ((td, maps[cols, ti], tl), (ed, maps[cols, ei], el))
+                )
+
+            driver = OnlineDriver(
+                model,
+                trainer,
+                os.path.join(ck.directory, self.spec.name, "online"),
+                compact_every=on.compact_every,
+                canary_threshold=on.canary_threshold,
+            )
+            report = driver.run(windows)
+
+            # Replay one request trace twice at equal provisioned cost:
+            # with the planned hot swaps, and frozen.
+            strategy = (
+                "disaggregated"
+                if serve.serves_disaggregated
+                else serve.placement
+            )
+            partition = (
+                self.partition().partition
+                if self.spec.partition is not None
+                else None
+            )
+            serving_model = ServingModel.from_trained(model, partition)
+            stream = RequestStream(
+                WorkloadConfig(
+                    qps=serve.qps,
+                    num_requests=serve.num_requests,
+                    num_lookups=serving_model.num_lookups,
+                    key_space=serve.key_space,
+                    skew=serve.skew,
+                    seed=serve.seed,
+                    scenario=serve.scenario,
+                    diurnal_period_s=serve.diurnal_period_s,
+                    diurnal_amplitude=serve.diurnal_amplitude,
+                    flash_start_s=serve.flash_start_s,
+                    flash_duration_s=serve.flash_duration_s,
+                    flash_factor=serve.flash_factor,
+                    churn_keys_per_s=serve.churn_keys_per_s,
+                )
+            )
+            requests = stream.generate()
+            span_s = max(
+                requests[-1].arrival_s - requests[0].arrival_s, 1e-9
+            )
+            planner = RolloutPlanner(
+                serve.fleet_replicas,
+                on.windows,
+                span_s,
+                stages=on.rollout_stages,
+                swap_s=on.swap_downtime_ms * 1e-3,
+            )
+            swaps = planner.plan(report.rollouts)
+
+            emb_hosts = serve.resolved_emb_hosts(cluster.num_hosts)
+            fault_reports = {}
+            for arm, arm_swaps in (("online", swaps), ("frozen", ())):
+                sim = SimCluster(cluster)
+                fleet = ResilientFleet(
+                    sim,
+                    serving_model,
+                    Placement(strategy, emb_hosts=emb_hosts),
+                    MicroBatcher(
+                        serve.max_batch_size,
+                        serve.max_queue_delay_ms * 1e-3,
+                    ),
+                    router=serve.router,
+                    num_replicas=serve.fleet_replicas,
+                    cache_rows=serve.cache_rows,
+                    router_seed=serve.seed,
+                    swaps=arm_swaps,
+                )
+                fault_reports[arm] = fleet.serve(requests)
+            return OnlineArtifact(
+                report=report,
+                swap_events=list(swaps),
+                fault_reports=fault_reports,
+                placement=strategy,
+            )
+
+        return self._stage("online", build)
+
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute every stage the spec describes; collect a RunResult."""
@@ -973,6 +1142,8 @@ class Session:
             result.serve = self.serve().summary()
         if spec.tiers is not None:
             result.tier_plan = self.tier_plan().summary()
+        if spec.online is not None:
+            result.online = self.online().summary()
         if "checkpoint" in self._artifacts:
             summary = self._artifacts["checkpoint"].summary()
             if summary:

@@ -33,6 +33,7 @@ __all__ = [
     "TierSpec",
     "FaultSpec",
     "AutoscaleSpec",
+    "OnlineSpec",
     "RunSpec",
     "SpecError",
 ]
@@ -956,6 +957,82 @@ class AutoscaleSpec(_SpecBase):
         )
 
 
+@dataclass(frozen=True)
+class OnlineSpec(_SpecBase):
+    """Online training with delta checkpoints and hot-swap rollout.
+
+    Runs the :mod:`repro.online` freshness loop: the data section's
+    click stream is split into ``windows`` windows under **hot-set
+    churn** — the live vocabulary (``data.cardinality`` ids) is mapped
+    into embedding tables ``table_multiplier``\\ x larger, and every
+    window boundary ``churn_fraction`` of the live slots remap to
+    fresh rows (new items arriving, old ones going cold).  An
+    :class:`~repro.online.OnlineDriver` trains through the stream,
+    emitting a delta checkpoint per window (compacted back to a full
+    save every ``compact_every`` deltas) and gating each deploy on a
+    canary eval; the :class:`~repro.online.RolloutPlanner` turns the
+    deploys into staged :class:`~repro.serving.SwapEvent` schedules
+    (cumulative replica counts ``rollout_stages``, default canary →
+    half → all) that the serving fleet replays against a frozen arm
+    at equal provisioned cost.
+
+    ``canary_threshold`` (the tolerated eval-AUC regression before
+    automatic rollback) is deliberately *not* range-checked here — the
+    ``canary-threshold-invalid`` speccheck owns that diagnosis, so a
+    stored pathological spec still loads for analysis.  Likewise
+    ``rollout_stages`` vs. the fleet size is cross-field and belongs
+    to the ``rollout-exceeds-replicas`` speccheck.
+    """
+
+    _TUPLE_FIELDS = ("rollout_stages",)
+
+    windows: int = 6
+    window_samples: int = 768
+    eval_samples: int = 384
+    churn_fraction: float = 0.1
+    table_multiplier: int = 16
+    compact_every: int = 4
+    canary_threshold: float = 0.01
+    rollout_stages: Tuple[int, ...] = ()
+    swap_downtime_ms: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._coerce_tuple_fields()
+        _require(
+            self.windows >= 2,
+            f"online training needs windows >= 2, got {self.windows}",
+        )
+        _require(self.window_samples >= 1, "window_samples must be >= 1")
+        _require(self.eval_samples >= 1, "eval_samples must be >= 1")
+        _require(
+            0.0 <= self.churn_fraction < 1.0,
+            f"churn_fraction must be in [0, 1), got {self.churn_fraction}",
+        )
+        _require(
+            self.table_multiplier >= 1,
+            f"table_multiplier must be >= 1, got {self.table_multiplier}",
+        )
+        _require(
+            self.compact_every >= 1,
+            f"compact_every must be >= 1, got {self.compact_every}",
+        )
+        _require(
+            all(
+                isinstance(s, int) and not isinstance(s, bool) and s >= 1
+                for s in self.rollout_stages
+            )
+            and list(self.rollout_stages)
+            == sorted(set(self.rollout_stages)),
+            f"rollout_stages must be strictly increasing positive "
+            f"replica counts, got {self.rollout_stages}",
+        )
+        _require(
+            self.swap_downtime_ms >= 0,
+            f"swap_downtime_ms must be >= 0, got {self.swap_downtime_ms}",
+        )
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RunSpec(_SpecBase):
@@ -985,6 +1062,7 @@ class RunSpec(_SpecBase):
     tiers: Optional[TierSpec] = None
     faults: Optional[FaultSpec] = None
     autoscale: Optional[AutoscaleSpec] = None
+    online: Optional[OnlineSpec] = None
 
     _SECTIONS = {
         "cluster": ClusterSpec,
@@ -998,6 +1076,7 @@ class RunSpec(_SpecBase):
         "tiers": TierSpec,
         "faults": FaultSpec,
         "autoscale": AutoscaleSpec,
+        "online": OnlineSpec,
     }
 
     def __post_init__(self) -> None:
@@ -1060,6 +1139,18 @@ class RunSpec(_SpecBase):
                 self.serve is not None and self.serve.uses_fleet,
                 "an autoscale section scales the serving fleet; it "
                 "needs a serve section with fleet_replicas set",
+            )
+        if self.online is not None:
+            _require(
+                self.train is not None and self.train.mode == "single",
+                "an online section streams windows through the single-"
+                "process trainer; it needs a train section with "
+                "mode='single'",
+            )
+            _require(
+                self.serve is not None and self.serve.uses_fleet,
+                "an online section hot-swaps fleet replicas; it needs "
+                "a serve section with fleet_replicas set",
             )
         if self.checkpoint is not None:
             _require(

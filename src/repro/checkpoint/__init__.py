@@ -14,13 +14,20 @@ re-placed when the cluster shape changes.  This package provides:
 - :mod:`repro.checkpoint.elastic` — :func:`plan_elastic_restore`:
   re-run the tower partitioner over the saved tables, re-shard onto
   the new world size, and price the migration through the collective
-  cost model.
+  cost model;
+- :mod:`repro.checkpoint.delta` — delta checkpoints for online
+  training: row-slice saves of only the rows a stream window touched,
+  chained onto a base full save (:func:`save_delta_checkpoint` /
+  :func:`load_delta_checkpoint`), with typed
+  :class:`CheckpointChainError` diagnostics for orphaned or cyclic
+  chains.
 """
 
 from repro.checkpoint.format import (
     FORMAT_NAME,
     FORMAT_VERSION,
     MANIFEST_NAME,
+    CheckpointChainError,
     CheckpointCorruptError,
     CheckpointError,
     CheckpointMismatchError,
@@ -39,6 +46,14 @@ from repro.checkpoint.state import (
     load_training_checkpoint,
     save_training_checkpoint,
 )
+from repro.checkpoint.delta import (
+    DELTA_KIND,
+    checkpoint_nbytes,
+    delta_touched_rows,
+    load_delta_checkpoint,
+    resolve_delta_chain,
+    save_delta_checkpoint,
+)
 from repro.checkpoint.elastic import ElasticRestorePlan, plan_elastic_restore
 
 __all__ = [
@@ -50,6 +65,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointVersionError",
     "CheckpointMismatchError",
+    "CheckpointChainError",
     "read_manifest",
     "read_array",
     "read_arrays",
@@ -60,6 +76,12 @@ __all__ = [
     "hottest_rows",
     "accumulator_mass_by_table",
     "CheckpointManager",
+    "DELTA_KIND",
+    "save_delta_checkpoint",
+    "load_delta_checkpoint",
+    "resolve_delta_chain",
+    "delta_touched_rows",
+    "checkpoint_nbytes",
     "ElasticRestorePlan",
     "plan_elastic_restore",
 ]

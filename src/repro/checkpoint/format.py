@@ -41,6 +41,7 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointVersionError",
     "CheckpointMismatchError",
+    "CheckpointChainError",
     "write_checkpoint",
     "read_manifest",
     "read_array",
@@ -73,6 +74,12 @@ class CheckpointVersionError(CheckpointError):
 class CheckpointMismatchError(CheckpointError):
     """The checkpoint does not fit the object it is being loaded into
     (table cardinality / parameter shape / missing state)."""
+
+
+class CheckpointChainError(CheckpointError):
+    """A delta checkpoint's base chain cannot be resolved: the base is
+    missing or pruned (orphaned delta), the chain loops, or a link is
+    not the kind of checkpoint the chain requires."""
 
 
 # ----------------------------------------------------------------------

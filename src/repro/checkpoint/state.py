@@ -342,6 +342,14 @@ class CheckpointManager:
     checkpoints — the cadence/retention policy a ``CheckpointSpec``
     describes and :class:`repro.api.Session` wires into
     :meth:`repro.training.Trainer.fit`.
+
+    Retention counts step directories only, so a checkpoint a live run
+    is still *referencing* — the path a ``Session.resume`` loaded, a
+    fleet warm-start read, or the base a delta chain hangs off — could
+    otherwise be deleted out from under it.  :meth:`pin` exempts a path
+    from pruning for the manager's lifetime (pruning a delta chain's
+    base would orphan every delta on it, so pins are load-bearing, not
+    just polite).
     """
 
     _STEP_DIR = re.compile(r"^step_(\d{8})$")
@@ -358,6 +366,12 @@ class CheckpointManager:
         self.directory = directory
         self.every_steps = every_steps
         self.keep_last = keep_last
+        self._pinned: set = set()
+
+    def pin(self, path: Optional[str]) -> None:
+        """Exempt ``path`` from retention pruning (None is a no-op)."""
+        if path:
+            self._pinned.add(os.path.abspath(path))
 
     def step_path(self, step: int) -> str:
         return os.path.join(self.directory, f"step_{step:08d}")
@@ -398,4 +412,7 @@ class CheckpointManager:
     def _prune(self) -> None:
         steps = self.saved_steps()
         for step in steps[: -self.keep_last]:
-            shutil.rmtree(self.step_path(step), ignore_errors=True)
+            path = self.step_path(step)
+            if os.path.abspath(path) in self._pinned:
+                continue
+            shutil.rmtree(path, ignore_errors=True)

@@ -1,0 +1,156 @@
+"""Model freshness: online training + hot swap vs a frozen fleet.
+
+Production recommenders retrain continuously because the id space
+churns — new items appear, old ones go cold — and a model frozen at
+deploy time decays.  This experiment closes the paper's train→serve
+loop and measures what freshness buys at **equal serving cost**:
+
+- the data stream is split into windows under hot-set churn (each
+  boundary, a fraction of the live vocabulary remaps to fresh,
+  untrained embedding rows);
+- an :class:`~repro.online.OnlineDriver` trains through the stream,
+  emitting a **delta checkpoint** per window (only the rows the window
+  touched, chained onto a base full save with periodic compaction) and
+  canary-gating each deploy on eval AUC;
+- the resulting rollout plan is replayed as staged hot swaps
+  (1 → half → all, priced downtime + warm prefill of the delta's
+  touched rows) on a :class:`~repro.serving.ResilientFleet`, against a
+  frozen arm serving the same trace with the same replica count.
+
+What the table shows: the frozen arm's per-window eval AUC decays as
+churn accumulates while the hot-swapped arm stays one window stale and
+strictly dominates from the first divergent window on; the deltas that
+carry each deploy are several times smaller than a full save.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.api import (
+    CheckpointSpec,
+    ClusterSpec,
+    DataSpec,
+    ModelSpec,
+    OnlineSpec,
+    RunSpec,
+    ServeSpec,
+    Session,
+    TrainSpec,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+
+# 5 hosts: 1 fetch tier + 4 dense hosts, one per fleet replica (an
+# oversubscribed fleet would warn at analyze time).
+_CLUSTER = ClusterSpec(num_hosts=5, gpus_per_host=2, generation="A100")
+
+
+def freshness_spec(fast: bool = True, directory: str = "checkpoints") -> RunSpec:
+    """The one arm-pair spec: driver + planner + two fleet replays."""
+    windows = 6 if fast else 8
+    samples = 768 if fast else 1536
+    return RunSpec(
+        name="model-freshness",
+        cluster=_CLUSTER,
+        data=DataSpec(
+            num_dense=4,
+            num_sparse=6,
+            cardinality=64,  # the live (hot) vocabulary per feature
+            num_blocks=2,
+            num_samples=1200,
+            eval_fraction=0.25,
+        ),
+        model=ModelSpec(
+            family="dlrm",
+            variant="flat",
+            embedding_dim=8,
+            bottom_mlp=(16,),
+            top_mlp=(16,),
+        ),
+        train=TrainSpec(mode="single", batch_size=64, epochs=1),
+        serve=ServeSpec(
+            placement="disaggregated",
+            qps=50_000.0,
+            num_requests=3_000 if fast else 6_000,
+            key_space=4_000,
+            cache_rows=2_048,
+            fleet_replicas=4,
+        ),
+        checkpoint=CheckpointSpec(directory=directory),
+        online=OnlineSpec(
+            windows=windows,
+            window_samples=samples,
+            eval_samples=samples // 2,
+            churn_fraction=0.1,
+            table_multiplier=16,
+            compact_every=4,
+            canary_threshold=0.05,
+        ),
+    )
+
+
+def experiment_specs(fast: bool = True) -> Dict[str, RunSpec]:
+    """Every validating RunSpec this experiment runs, keyed by arm."""
+    return {"freshness": freshness_spec(fast)}
+
+
+@register("model_freshness", "Online training + hot-swap freshness")
+def run(fast: bool = True) -> ExperimentResult:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        spec = freshness_spec(fast, directory=tmp)
+        art = Session(spec).online()
+
+    rep = art.report
+    rows = []
+    for w in rep.windows:
+        rows.append(
+            [
+                str(w["window"]),
+                str(w["staleness_windows"]),
+                f"{w['frozen_auc']:.4f}",
+                f"{w['online_auc']:.4f}",
+                f"v{w['deployed_version']}",
+                "yes" if w["rolled_out"] else "ROLLED BACK",
+            ]
+        )
+    body = format_table(
+        ["window", "staleness", "frozen AUC", "online AUC", "serving", "deployed"],
+        rows,
+    )
+    full_kib = rep.full_nbytes / 1024.0
+    delta_kib = rep.mean_delta_nbytes / 1024.0
+    body += (
+        f"\n{len(art.swap_events)} staged replica swaps carried "
+        f"{rep.num_versions} versions ({rep.num_rollbacks} canary "
+        f"rollbacks) across a {spec.serve.fleet_replicas}-replica "
+        f"fleet; both arms served the identical trace at equal "
+        f"provisioned cost.\n"
+        f"delta checkpoints: {delta_kib:.1f} KiB mean vs "
+        f"{full_kib:.1f} KiB full save "
+        f"({rep.delta_compression:.1f}x smaller), compacted every "
+        f"{spec.online.compact_every} windows.\n"
+        f"mean eval AUC while serving: online "
+        f"{art.mean_online_auc:.4f} vs frozen "
+        f"{art.mean_frozen_auc:.4f} — the hot-swapped arm "
+        f"{'strictly dominates every divergent window' if art.freshness_dominates else 'does not dominate (investigate)'}"
+    )
+
+    return ExperimentResult(
+        exp_id="model_freshness",
+        title="Online training + hot-swap rollout vs a frozen fleet",
+        body=body,
+        data={
+            "spec": spec.to_dict(),
+            "online": art.summary(),
+            "swap_events": [s.to_dict() for s in art.swap_events],
+        },
+        paper_reference=(
+            "beyond-paper extension: the production train→serve "
+            "freshness loop the paper's §4 multi-tower training and "
+            "§5.3 serving assume (cf. Monolith 2209.07663 on online "
+            "training with per-window parameter sync)"
+        ),
+    )

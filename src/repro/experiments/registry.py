@@ -43,6 +43,7 @@ DRIVER_MODULES = (
     "tiered_serving",
     "checkpointing",
     "fault_tolerance",
+    "model_freshness",
 )
 
 _loaded = False

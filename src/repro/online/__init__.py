@@ -1,0 +1,25 @@
+"""Online training: stream windows, delta checkpoints, hot-swap rollout.
+
+Closes the train→serve freshness loop the paper's production setting
+assumes: :class:`OnlineDriver` streams batches through a
+:class:`~repro.training.Trainer` window by window, emits **delta
+checkpoints** (:mod:`repro.checkpoint.delta`) of only the rows each
+window touched with periodic compaction back to a full save, runs a
+canary eval gate per window (automatic rollback on eval-AUC
+regression), and plans the staged replica rollout the serving fleet
+replays as priced :class:`~repro.serving.faults.SwapEvent`\\ s.
+"""
+
+from repro.online.driver import (
+    OnlineDriver,
+    OnlineReport,
+    RolloutPlanner,
+    stacked_touched_ids,
+)
+
+__all__ = [
+    "OnlineDriver",
+    "OnlineReport",
+    "RolloutPlanner",
+    "stacked_touched_ids",
+]

@@ -50,6 +50,7 @@ from repro.serving.faults import (
     RecoveryModel,
     ResilientFleet,
     RetryPolicy,
+    SwapEvent,
 )
 from repro.serving.fleet import (
     ConsistentHashRouter,
@@ -133,6 +134,7 @@ __all__ = [
     "RecoveryModel",
     "FaultReport",
     "ResilientFleet",
+    "SwapEvent",
     "AutoscalePolicy",
     "SLOAutoscaler",
 ]

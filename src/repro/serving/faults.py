@@ -258,6 +258,56 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class SwapEvent:
+    """One planned hot-swap: roll a replica onto a new model version.
+
+    Unlike a fault, a swap is *coordinated*: the front-end knows the
+    replica is going down, so traffic is re-routed immediately (no
+    timeout/detection window), any open batch is flushed first
+    (graceful drain), and after ``swap_s`` of priced downtime the
+    replica comes back — optionally with a fresh cache (the old
+    version's cached rows are stale the moment the weights change) and
+    a priced warm prefill of ``warm_rows``: either a row *count*
+    (hottest-first, like crash recovery) or an explicit array of row
+    ids (the delta checkpoint's touched rows).
+
+    A swap with ``swap_s == 0``, no prefill and ``fresh_cache=False``
+    is the degenerate zero-change rollout: the replay is bit-identical
+    to not swapping at all — the oracle the test suite pins.
+    """
+
+    at_s: float  # relative to the trace start
+    replica: int
+    version: int = 0  # model version rolled in (reporting only)
+    swap_s: float = 0.0  # downtime restarting onto the new weights
+    warm_rows: Any = 0  # int count, or ndarray of row ids to prefill
+    fresh_cache: bool = True  # invalidate the cache (weights changed)
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.replica < 0:
+            raise ValueError(
+                f"replica must be >= 0, got {self.replica}"
+            )
+        if self.swap_s < 0:
+            raise ValueError(f"swap_s must be >= 0, got {self.swap_s}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        rows = self.warm_rows
+        return {
+            "at_s": self.at_s,
+            "replica": self.replica,
+            "version": self.version,
+            "swap_s": self.swap_s,
+            "warm_rows": (
+                int(rows.size) if isinstance(rows, np.ndarray) else int(rows)
+            ),
+            "fresh_cache": self.fresh_cache,
+        }
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Client-side timeout / retry / backoff discipline.
 
@@ -421,6 +471,7 @@ class FaultReport:
     scale_events: List[Dict[str, Any]] = field(default_factory=list)
     crashes: List[Dict[str, Any]] = field(default_factory=list)
     fault_timeline: List[Dict[str, Any]] = field(default_factory=list)
+    swaps: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def lost_fraction(self) -> float:
@@ -460,6 +511,7 @@ class FaultReport:
             "scale_events": [dict(e) for e in self.scale_events],
             "crashes": [dict(c) for c in self.crashes],
             "fault_timeline": [dict(e) for e in self.fault_timeline],
+            "swaps": [dict(s) for s in self.swaps],
         }
 
     def summary(self) -> str:
@@ -482,7 +534,7 @@ class _Slot:
         "idx",
         "cache",
         "caches",
-        "state",  # idle | active | dead | hung | drained
+        "state",  # idle | active | dead | hung | drained | swapping
         "online_at",
         "detect_at",  # when the router learns the slot is down
         "hang_until",
@@ -554,6 +606,7 @@ class ResilientFleet:
         autoscaler: Optional[SLOAutoscaler] = None,
         degraded_mode: bool = True,
         stale_penalty: float = 0.05,
+        swaps: Optional[Sequence[SwapEvent]] = None,
     ):
         self.engine = (
             engine
@@ -578,6 +631,13 @@ class ResilientFleet:
         self.placement = placement
         self.batcher = batcher
         self.faults = faults if faults is not None else FaultConfig()
+        self.swaps: Tuple[SwapEvent, ...] = tuple(swaps) if swaps else ()
+        for swap in self.swaps:
+            if swap.replica >= self.num_replicas:
+                raise ValueError(
+                    f"swap targets replica {swap.replica}, fleet has "
+                    f"{self.num_replicas}"
+                )
         self.retry = retry if retry is not None else RetryPolicy()
         self.recovery = recovery
         self.autoscaler = autoscaler
@@ -850,7 +910,7 @@ class ResilientFleet:
         self,
         t: float,
         idx: int,
-        warm_rows: int,
+        warm_rows: Any,
         fresh_cache: bool,
         scale_event: Optional[Dict[str, Any]],
     ) -> None:
@@ -865,15 +925,27 @@ class ResilientFleet:
         slot.online_at = t
         slot.detect_at = math.inf
         prefill_s = 0.0
-        rows = min(warm_rows, slot.cache.capacity_rows)
-        if rows > 0:
-            # Warm-start prefill: pull the hottest-ranked rows over the
-            # fetch tier before taking traffic — priced, so scale-up is
+        # ``warm_rows`` is a count (hottest-first, crash recovery and
+        # autoscale) or an explicit id array (a delta's touched rows).
+        if isinstance(warm_rows, np.ndarray):
+            rows_arr = np.asarray(warm_rows, dtype=np.int64)[
+                : slot.cache.capacity_rows
+            ]
+        else:
+            rows_arr = np.arange(
+                min(int(warm_rows), slot.cache.capacity_rows),
+                dtype=np.int64,
+            )
+        if rows_arr.size > 0:
+            # Warm-start prefill: pull the rows over the fetch tier
+            # before taking traffic — priced, so coming online is
             # never free.
-            slot.cache.prefill(np.arange(rows, dtype=np.int64))
+            slot.cache.prefill(rows_arr)
             server = int(np.argmin(self._fetch_free))
             fetch_start = max(t, float(self._fetch_free[server]))
-            prefill_s, nbytes, world = self.engine.fetch_timing(rows)
+            prefill_s, nbytes, world = self.engine.fetch_timing(
+                int(rows_arr.size)
+            )
             self._fetch_free[server] = fetch_start + prefill_s
             self.sim.timeline.add(
                 Phase.EMBEDDING_COMM,
@@ -889,6 +961,35 @@ class ResilientFleet:
             scale_event["online_s"] = t
             scale_event["prefill_s"] = prefill_s
         self._update_membership(t)
+
+    def _on_swap(self, t: float, swap: SwapEvent) -> None:
+        """Planned rollout step: drain, restart on the new version,
+        warm the cache, rejoin — all priced, none of it a fault."""
+        slot = self._slots[swap.replica]
+        record = dict(swap.to_dict())
+        record["at_s"] = t  # absolute time in the trace frame
+        record["applied"] = slot.state == "active"
+        record["online_s"] = None
+        record["prefill_s"] = 0.0
+        self._swap_log.append(record)
+        if slot.state != "active":
+            return  # dead/hung/drained: the rollout skips this replica
+        if swap.swap_s > 0:
+            if slot.pending:
+                # Graceful drain: the open batch is served, not failed.
+                self._flush_slot(slot.idx, t)
+            slot.state = "swapping"
+            self._update_membership(t)
+            self._push(
+                t + swap.swap_s,
+                "online",
+                (slot.idx, swap.warm_rows, swap.fresh_cache, record),
+            )
+        else:
+            # Zero-downtime swap: the replica never leaves the router.
+            self._on_online(
+                t, slot.idx, swap.warm_rows, swap.fresh_cache, record
+            )
 
     def _on_window(self, t: float, k: int) -> None:
         lats = self._win_lat.get(k - 1, [])
@@ -922,7 +1023,7 @@ class ResilientFleet:
         current = sum(
             1
             for slot in self._slots
-            if slot.state in ("active", "hung")
+            if slot.state in ("active", "hung", "swapping")
         )
         target = self.autoscaler.decide(p99, depth, current)
         if target > current:
@@ -1011,6 +1112,7 @@ class ResilientFleet:
         self._scale_events: List[Dict[str, Any]] = []
         self._crashes: List[Dict[str, Any]] = []
         self._timeline_log: List[Dict[str, Any]] = []
+        self._swap_log: List[Dict[str, Any]] = []
         self._num_batches = 0
         self._lost = 0
         self._retries = 0
@@ -1032,10 +1134,13 @@ class ResilientFleet:
         else:
             self._win_s = span / 20.0 if span > 0 else 0.0
 
-        # Pre-seed the event heap: faults first, then window
-        # boundaries, then arrivals — a deterministic tie order.
+        # Pre-seed the event heap: faults first, then planned swaps,
+        # then window boundaries, then arrivals — a deterministic tie
+        # order.
         for event in self.faults.schedule(span, self.num_replicas):
             self._push(self._t0 + event.at_s, "fault", event)
+        for swap in self.swaps:
+            self._push(self._t0 + swap.at_s, "swap", swap)
         if self._win_s > 0:
             num_windows = int(math.ceil(span / self._win_s))
             for k in range(1, num_windows + 1):
@@ -1061,6 +1166,8 @@ class ResilientFleet:
                     slot.state = "active"
                     slot.detect_at = math.inf
                     self._update_membership(t)
+            elif kind == "swap":
+                self._on_swap(t, payload)
             elif kind == "online":
                 idx, warm_rows, fresh_cache, scale_event = payload
                 self._on_online(t, idx, warm_rows, fresh_cache, scale_event)
@@ -1204,4 +1311,5 @@ class ResilientFleet:
             scale_events=self._scale_events,
             crashes=self._crashes,
             fault_timeline=self._timeline_log,
+            swaps=self._swap_log,
         )

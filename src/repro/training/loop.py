@@ -29,6 +29,25 @@ from repro.nn.optim import (
 )
 from repro.training.metrics import auc, log_loss, normalized_entropy
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix_epoch_seed(seed: int, epoch: int) -> int:
+    """Collision-free per-epoch shuffle seed.
+
+    The old ``seed + epoch`` scheme aliased across runs — (seed=0,
+    epoch=1) and (seed=1, epoch=0) replayed the identical batch order,
+    contaminating seed-sweep confidence once epochs double as online
+    stream windows.  Mixing the pair through a splitmix64 finalizer
+    (the same hash the serving routers use for ring placement) spreads
+    neighbouring (seed, epoch) pairs across the full 64-bit space.
+    """
+    x = (seed * 0x51_7C_C1_B7_27_22_0A_95 + epoch) & _MASK64
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
 
 @dataclass(frozen=True)
 class TrainConfig:
@@ -149,12 +168,62 @@ class Trainer:
         self.loss_history.append(loss)
         return loss
 
-    def train_epoch(self, batches: BatchIterator) -> float:
-        """One pass over the data; returns the mean batch loss."""
-        losses = [self.train_batch(*batch) for batch in batches]
-        if not losses:
+    def _run_epoch(
+        self,
+        dense: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray,
+        on_step_end: Optional[Callable[["Trainer"], None]] = None,
+    ) -> float:
+        """One full bookkept pass over the data: builds the epoch's
+        seeded iterator (applying any restored mid-epoch state), records
+        batch losses, advances ``epoch``/``epoch_losses``, and returns
+        the epoch's mean batch loss.  Every training entry point routes
+        through here so ``state_dict()`` always reflects true progress.
+        """
+        batches = BatchIterator(
+            dense,
+            ids,
+            labels,
+            batch_size=self.config.batch_size,
+            seed=_mix_epoch_seed(self.config.seed, self.epoch),
+        )
+        if self._pending_iterator_state is not None:
+            batches.load_state_dict(self._pending_iterator_state)
+            self._pending_iterator_state = None
+        self._epoch_iterator = batches
+        for batch in batches:
+            loss = self.train_batch(*batch)
+            self._epoch_batch_losses.append(loss)
+            if on_step_end is not None:
+                on_step_end(self)
+        if not self._epoch_batch_losses:
             raise ValueError("iterator produced no batches")
-        return float(np.mean(losses))
+        epoch_loss = float(np.mean(self._epoch_batch_losses))
+        self.epoch_losses.append(epoch_loss)
+        self._epoch_batch_losses = []
+        self._epoch_iterator = None
+        self.epoch += 1
+        return epoch_loss
+
+    def train_window(
+        self,
+        dense: np.ndarray,
+        ids: np.ndarray,
+        labels: np.ndarray,
+        on_step_end: Optional[Callable[["Trainer"], None]] = None,
+    ) -> float:
+        """One pass over a stream window; returns the mean batch loss.
+
+        The online-training entry point: unlike :meth:`fit` it ignores
+        ``config.epochs`` and trains exactly one pass over whatever
+        window of the stream the caller hands it, but it runs through
+        the same internals, so ``epoch`` counts windows, the loss
+        history accrues, and a checkpoint saved mid-window resumes
+        bit-identically.  (This replaces the old ``train_epoch``, which
+        bypassed all resume bookkeeping and recorded stale progress.)
+        """
+        return self._run_epoch(dense, ids, labels, on_step_end=on_step_end)
 
     def fit(
         self,
@@ -175,29 +244,9 @@ class Trainer:
         hook periodic checkpointing is wired through.
         """
         while self.epoch < self.config.epochs:
-            batches = BatchIterator(
-                dense,
-                ids,
-                labels,
-                batch_size=self.config.batch_size,
-                seed=self.config.seed + self.epoch,
+            epoch_loss = self._run_epoch(
+                dense, ids, labels, on_step_end=on_step_end
             )
-            if self._pending_iterator_state is not None:
-                batches.load_state_dict(self._pending_iterator_state)
-                self._pending_iterator_state = None
-            self._epoch_iterator = batches
-            for batch in batches:
-                loss = self.train_batch(*batch)
-                self._epoch_batch_losses.append(loss)
-                if on_step_end is not None:
-                    on_step_end(self)
-            if not self._epoch_batch_losses:
-                raise ValueError("iterator produced no batches")
-            epoch_loss = float(np.mean(self._epoch_batch_losses))
-            self.epoch_losses.append(epoch_loss)
-            self._epoch_batch_losses = []
-            self._epoch_iterator = None
-            self.epoch += 1
             if on_epoch_end is not None:
                 on_epoch_end(self.epoch - 1, epoch_loss)
         return list(self.epoch_losses)

@@ -88,6 +88,7 @@ class TestPropertyEveryRealSpecValidates:
         from repro.experiments import (
             checkpointing,
             fault_tolerance,
+            model_freshness,
             serving,
             serving_fleet,
             tiered_serving,
@@ -99,6 +100,7 @@ class TestPropertyEveryRealSpecValidates:
             tiered_serving,
             checkpointing,
             fault_tolerance,
+            model_freshness,
         ):
             for arm, spec in mod.experiment_specs(fast=fast).items():
                 bad = error_codes(spec)
@@ -108,6 +110,7 @@ class TestPropertyEveryRealSpecValidates:
         from repro.experiments import (
             checkpointing,
             fault_tolerance,
+            model_freshness,
             serving,
             serving_fleet,
             tiered_serving,
@@ -119,6 +122,7 @@ class TestPropertyEveryRealSpecValidates:
             tiered_serving,
             checkpointing,
             fault_tolerance,
+            model_freshness,
         ):
             for spec in mod.experiment_specs().values():
                 diags = Session(spec).analyze()
@@ -367,6 +371,37 @@ class TestNegativeSeededBrokenSpecs:
         )
         assert error_codes(spec) == ["degraded-mode-without-backing"]
 
+    def _online_spec(self, **online_overrides):
+        from repro.experiments.model_freshness import freshness_spec
+
+        spec = freshness_spec(fast=True)
+        if online_overrides:
+            spec = spec.replace(
+                online=spec.online.replace(**online_overrides)
+            )
+        return spec
+
+    def test_clean_online_spec_passes(self):
+        assert error_codes(self._online_spec()) == []
+
+    def test_delta_without_base(self):
+        spec = self._online_spec().replace(checkpoint=None)
+        assert error_codes(spec) == ["delta-without-base"]
+
+    def test_rollout_exceeds_replicas(self):
+        # The freshness fleet has 4 replicas; a 1 -> 8 schedule's final
+        # stage can never complete.
+        spec = self._online_spec(rollout_stages=(1, 8))
+        assert error_codes(spec) == ["rollout-exceeds-replicas"]
+        # Stages capped at the fleet are fine.
+        assert error_codes(self._online_spec(rollout_stages=(1, 4))) == []
+
+    def test_canary_threshold_invalid(self):
+        spec = self._online_spec(canary_threshold=0.6)
+        assert error_codes(spec) == ["canary-threshold-invalid"]
+        spec = self._online_spec(canary_threshold=-0.01)
+        assert error_codes(spec) == ["canary-threshold-invalid"]
+
     def test_invalid_dict_input_maps_to_spec_invalid(self):
         diags = analyze_spec({"serve": {"qps": -5.0}})
         assert [d.code for d in diags] == ["spec-invalid"]
@@ -392,6 +427,9 @@ class TestNegativeSeededBrokenSpecs:
             "retry-budget-zero-with-faults",
             "autoscale-bounds-inverted",
             "degraded-mode-without-backing",
+            "delta-without-base",
+            "rollout-exceeds-replicas",
+            "canary-threshold-invalid",
         } <= names
 
 

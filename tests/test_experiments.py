@@ -42,13 +42,14 @@ ALL_IDS = {
     "tiered_serving",
     "checkpointing",
     "fault_tolerance",
+    "model_freshness",
 }
 
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
-        assert len(ids) == 23
+        assert len(ids) == 24
         assert ids == ALL_IDS
 
     def test_registry_lazy_imports_drivers(self):

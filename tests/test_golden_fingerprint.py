@@ -33,19 +33,19 @@ from repro.training import TrainConfig, Trainer
 
 #: 28 batch losses (2 epochs x 14 batches) followed by the eval AUC.
 GOLDEN = [
-    0.814859748944, 0.832260649527, 0.768093025204,
-    0.836067463801, 0.802062148867, 0.797611545500,
-    0.762212805524, 0.745220041930, 0.712145595976,
-    0.737658170452, 0.748025190551, 0.732480671249,
-    0.718049906196, 0.713345265056, 0.690943078952,
-    0.684214989006, 0.679998857409, 0.668332431935,
-    0.694826258555, 0.665996379005, 0.671586238640,
-    0.662489701966, 0.651018522011, 0.652047388983,
-    0.639025324997, 0.647371863074, 0.641454392628,
-    0.643406731511, 0.644959719066,
+    0.833487765605, 0.816192011442, 0.836835499778,
+    0.795245771871, 0.764402675781, 0.791043800947,
+    0.742818192512, 0.760873794374, 0.728420681596,
+    0.740130415685, 0.730276213825, 0.732686567642,
+    0.723492324657, 0.731058475509, 0.696444351395,
+    0.687265607994, 0.672676812477, 0.662603426091,
+    0.686103885826, 0.658400381475, 0.670174889076,
+    0.664023520884, 0.659491878401, 0.640669474800,
+    0.655251458760, 0.668424023004, 0.636917609443,
+    0.650226857573, 0.642532534600,
 ]
 GOLDEN_SHA256 = (
-    "1ca201aa3006f04c3637e2c34f487b6a299f6a6718b76a0406085567df5253d5"
+    "ddae2cd2ec91e3feb8f298b5d16c047f27c645acdd0dd3a6b3dd0d432a37ceba"
 )
 TOLERANCE = 1e-9
 
