@@ -35,6 +35,11 @@ Two targets, selected with ``--bench``:
   AUC gap, the mean online-vs-frozen AUC gain, the delta-over-full
   checkpoint compression, and the swap count.  Writes
   ``BENCH_freshness.json``.
+- ``ab`` — the multi-task quality plane: runs the paired DBMTL vs
+  shared-bottom A/B (``Session.ab``: both arms per seed on identical
+  data, §5.2 seed protocol) and records the per-task paired deltas
+  with their Student-t confidence intervals, the headline CVR AUC
+  delta, and whether its CI excludes zero.  Writes ``BENCH_ab.json``.
 
 ``--fast`` shrinks any target for CI smoke.
 
@@ -633,6 +638,56 @@ def bench_freshness(args) -> dict:
     return record
 
 
+def bench_ab(args) -> dict:
+    """Paired multi-task A/B: DBMTL-over-shared-bottom per-task deltas."""
+    from repro.api import Session
+    from repro.experiments.multi_task_ab import ab_spec
+
+    fast = bool(args.fast)
+    print(f"benchmarking multi-task A/B "
+          f"({'fast' if fast else 'full'} geometry) ...", flush=True)
+    start = time.perf_counter()
+    spec = ab_spec(fast)
+    art = Session(spec).ab()
+    wall = time.perf_counter() - start
+
+    for task in art.tasks:
+        cell = art.delta(task, "auc")
+        print(f"  {task}: AUC delta {cell['mean_delta']:+.4f} "
+              f"[{cell['ci_low']:+.4f}, {cell['ci_high']:+.4f}] "
+              f"(excludes zero: {cell['excludes_zero']})", flush=True)
+
+    cvr = art.delta("cvr", "auc")
+    record = {
+        "bench": "ab",
+        "version": BENCH_VERSION,
+        "generated_utc": datetime.now(timezone.utc).isoformat(),
+        "config": {
+            "spec": spec.to_dict(),
+            "fast": fast,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            "ab": art.summary(),
+            "wall_clock_s": wall,
+        },
+        "cvr_auc_delta_dbmtl_over_shared": cvr["mean_delta"],
+        "cvr_auc_ci_excludes_zero": bool(cvr["excludes_zero"]),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"CVR AUC delta (dbmtl over shared_bottom): "
+          f"{cvr['mean_delta']:+.4f} "
+          f"(CI excludes zero: {record['cvr_auc_ci_excludes_zero']}) "
+          f"-> wrote {args.out}")
+    return record
+
+
 def bench_sparse(args) -> dict:
     results = {}
     for mode in ("rowwise", "dense"):
@@ -683,7 +738,7 @@ def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench",
                         choices=("sparse", "serving", "tiering", "faults",
-                                 "freshness"),
+                                 "freshness", "ab"),
                         default="sparse")
     parser.add_argument("--fast", action="store_true",
                         help="CI smoke geometry (seconds, not minutes)")
@@ -714,6 +769,7 @@ def main(argv=None) -> dict:
             "tiering": "BENCH_tiering.json",
             "faults": "BENCH_faults.json",
             "freshness": "BENCH_freshness.json",
+            "ab": "BENCH_ab.json",
             "sparse": "BENCH_sparse_path.json",
         }[args.bench]
     if args.bench == "serving":
@@ -732,6 +788,8 @@ def main(argv=None) -> dict:
         # requests default comes from the spec geometry; --requests
         # overrides the serve trace length if given.
         return bench_freshness(args)
+    if args.bench == "ab":
+        return bench_ab(args)
 
     if args.fast:
         defaults = dict(tables=8, rows=20_000, dim=32, steps=5, warmup=2)

@@ -717,6 +717,70 @@ def _check_warm_start_cache(spec: RunSpec):
 
 
 # ----------------------------------------------------------------------
+# Multi-task / A/B checks
+# ----------------------------------------------------------------------
+@spec_check("cvr-without-ctr")
+def _check_cvr_without_ctr(spec: RunSpec):
+    model = spec.model
+    if model is None:
+        return
+    if "cvr" in model.tasks and "ctr" not in model.tasks:
+        yield _diag(
+            "error",
+            "cvr-without-ctr",
+            f"model.tasks={model.tasks} requests conversion labels "
+            f"without the click task that gates them",
+            "model.tasks",
+            "cvr is defined only on clicked impressions; add 'ctr' "
+            "(first, as the primary task) or drop 'cvr'",
+        )
+
+
+@spec_check("task-weight-degenerate")
+def _check_task_weight_degenerate(spec: RunSpec):
+    model = spec.model
+    if model is None or model.task_weights is None:
+        return
+    bad = [
+        (name, w)
+        for name, w in zip(model.tasks, model.task_weights)
+        if w <= 0.0
+    ]
+    if bad:
+        listed = ", ".join(f"{name}={w:g}" for name, w in bad)
+        yield _diag(
+            "error",
+            "task-weight-degenerate",
+            f"task_weights silence or invert their task's loss: "
+            f"{listed}",
+            "model.task_weights",
+            "every weight must be > 0 — a zero weight trains a dead "
+            "tower and a negative one maximizes its loss; drop the "
+            "task instead of zero-weighting it",
+        )
+
+
+@spec_check("ab-arms-identical")
+def _check_ab_arms_identical(spec: RunSpec):
+    ab = spec.ab
+    if ab is None or spec.model is None or spec.train is None:
+        return
+    model_b = ab.model_b if ab.model_b is not None else spec.model
+    train_b = ab.train_b if ab.train_b is not None else spec.train
+    if model_b == spec.model and train_b == spec.train:
+        yield _diag(
+            "error",
+            "ab-arms-identical",
+            f"arms {ab.label_a!r} and {ab.label_b!r} resolve to the "
+            f"same model and train sections; every paired delta is "
+            f"exactly zero by construction",
+            "ab",
+            "set ab.model_b and/or ab.train_b to the variant under "
+            "test (e.g. a different head mode or task weighting)",
+        )
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 def analyze_spec(

@@ -24,6 +24,7 @@ Quick taste::
 """
 
 from repro.api.spec import (
+    ABSpec,
     AutoscaleSpec,
     CheckpointSpec,
     ClusterSpec,
@@ -40,6 +41,7 @@ from repro.api.spec import (
     TrainSpec,
 )
 from repro.api.results import (
+    ABArtifact,
     CheckpointArtifact,
     DataArtifact,
     OnlineArtifact,
@@ -66,6 +68,7 @@ __all__ = [
     "FaultSpec",
     "AutoscaleSpec",
     "OnlineSpec",
+    "ABSpec",
     "RunSpec",
     "SpecError",
     "Session",
@@ -79,5 +82,6 @@ __all__ = [
     "CheckpointArtifact",
     "TierPlanArtifact",
     "OnlineArtifact",
+    "ABArtifact",
     "RunResult",
 ]

@@ -31,6 +31,7 @@ from repro.sim.tracing import Timeline
 from repro.training import EvalResult
 
 __all__ = [
+    "ABArtifact",
     "DataArtifact",
     "PartitionArtifact",
     "PlanArtifact",
@@ -155,6 +156,20 @@ class TrainArtifact:
                 normalized_entropy=float(self.eval_result.normalized_entropy),
                 epoch_losses=[float(x) for x in self.epoch_losses],
             )
+            # Multi-task eval: the headline numbers above are the
+            # primary task's; the per-task breakdown rides alongside.
+            by_task = getattr(self.eval_result, "by_task", None)
+            if by_task is not None:
+                out["tasks"] = {
+                    name: {
+                        "auc": float(r.auc),
+                        "log_loss": float(r.log_loss),
+                        "normalized_entropy": float(r.normalized_entropy),
+                        "num_samples": int(r.num_samples),
+                        "auc_skipped": bool(r.auc_skipped),
+                    }
+                    for name, r in by_task.items()
+                }
         if self.losses:
             out["step_losses"] = [float(x) for x in self.losses]
         if self.ref_losses:
@@ -352,6 +367,67 @@ class OnlineArtifact:
         return out
 
 
+@dataclass
+class ABArtifact:
+    """Outcome of the paired A/B stage.
+
+    ``metrics[task][metric]`` holds the paired comparison for one task
+    x metric cell: the per-seed arm values (``a_values`` /
+    ``b_values``, aligned with ``seeds``), their paired differences
+    ``deltas`` (B − A), and the Student-t interval (``mean_delta``,
+    ``ci_low``, ``ci_high``, ``excludes_zero``) at level
+    ``confidence``.  Lower-is-better metrics (log loss, NE) therefore
+    show improvement as a *negative* delta; AUC as a positive one.
+    """
+
+    label_a: str
+    label_b: str
+    seeds: Tuple[int, ...]
+    confidence: float
+    tasks: Tuple[str, ...]
+    metrics: Dict[str, Dict[str, Dict[str, Any]]]
+
+    def delta(self, task: str, metric: str = "auc") -> Dict[str, Any]:
+        """The paired-comparison cell for one task and metric."""
+        if task not in self.metrics:
+            raise KeyError(
+                f"no task {task!r} in A/B result; have {self.tasks}"
+            )
+        cell = self.metrics[task]
+        if metric not in cell:
+            raise KeyError(
+                f"no metric {metric!r}; have {tuple(cell)}"
+            )
+        return cell[metric]
+
+    def significant(self, task: str, metric: str = "auc") -> bool:
+        """True when the task/metric CI excludes zero."""
+        return bool(self.delta(task, metric)["excludes_zero"])
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "seeds": list(self.seeds),
+            "confidence": float(self.confidence),
+            "tasks": list(self.tasks),
+            "metrics": {
+                task: {
+                    metric: {
+                        k: (
+                            [float(x) for x in v]
+                            if isinstance(v, list)
+                            else v
+                        )
+                        for k, v in cell.items()
+                    }
+                    for metric, cell in per_task.items()
+                }
+                for task, per_task in self.metrics.items()
+            },
+        }
+
+
 # ----------------------------------------------------------------------
 @dataclass
 class RunResult:
@@ -369,6 +445,7 @@ class RunResult:
     checkpoint: Optional[Dict[str, Any]] = None
     tier_plan: Optional[Dict[str, Any]] = None
     online: Optional[Dict[str, Any]] = None
+    ab: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def cluster_summary(cluster: Cluster) -> Dict[str, Any]:
@@ -383,7 +460,7 @@ class RunResult:
         out: Dict[str, Any] = {"name": self.name, "spec": self.spec}
         for section in (
             "cluster", "data", "partition", "plan", "train", "price",
-            "serve", "checkpoint", "tier_plan", "online",
+            "serve", "checkpoint", "tier_plan", "online", "ab",
         ):
             value = getattr(self, section)
             if value is not None:
@@ -440,6 +517,18 @@ class RunResult:
                     f"steps, final loss "
                     f"{t.get('step_losses', [float('nan')])[-1]:.6f}"
                 )
+            if "tasks" in t:
+                for name, r in t["tasks"].items():
+                    auc_txt = (
+                        "skipped"
+                        if r["auc_skipped"]
+                        else f"{r['auc']:.4f}"
+                    )
+                    lines.append(
+                        f"  task {name}: AUC={auc_txt} "
+                        f"LogLoss={r['log_loss']:.4f} "
+                        f"({r['num_samples']} samples)"
+                    )
             if "max_drift" in t:
                 lines.append(f"  max drift vs single-process {t['max_drift']:.2e}")
             if "compression_ratio" in t:
@@ -539,4 +628,18 @@ class RunResult:
                 f"({on['mean_delta_nbytes'] / 1024.0:.1f} KiB vs "
                 f"{on['full_nbytes'] / 1024.0:.1f} KiB)"
             )
+        if self.ab is not None:
+            abr = self.ab
+            lines.append(
+                f"ab [{abr['label_b']} vs {abr['label_a']}]: "
+                f"{len(abr['seeds'])} paired seeds, "
+                f"{abr['confidence'] * 100.0:.0f}% CI"
+            )
+            for task in abr["tasks"]:
+                cell = abr["metrics"][task]["auc"]
+                sig = "*" if cell["excludes_zero"] else " "
+                lines.append(
+                    f"  {task} AUC delta {cell['mean_delta']:+.4f} "
+                    f"[{cell['ci_low']:+.4f}, {cell['ci_high']:+.4f}]{sig}"
+                )
         return "\n".join(lines)

@@ -24,12 +24,15 @@ partitioning once.
 from __future__ import annotations
 
 import functools
+import math
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
+from scipy import stats as _scipy_stats
 
 from repro.api.results import (
+    ABArtifact,
     CheckpointArtifact,
     DataArtifact,
     OnlineArtifact,
@@ -42,6 +45,7 @@ from repro.api.results import (
     TrainArtifact,
 )
 from repro.api.spec import (
+    ABSpec,
     CheckpointSpec,
     DataSpec,
     ModelSpec,
@@ -67,7 +71,15 @@ from repro.data import (
     train_eval_split,
 )
 from repro.hardware import Cluster, tier_topology
-from repro.models import DCN, DLRM, DMTDCN, DMTDLRM, criteo_table_configs, tiny_table_configs
+from repro.models import (
+    DCN,
+    DLRM,
+    DMTDCN,
+    DMTDLRM,
+    MultiTaskModel,
+    criteo_table_configs,
+    tiny_table_configs,
+)
 from repro.models.configs import DenseArch
 from repro.nn import Adam, BCEWithLogitsLoss, TableConfig, set_sparse_grad_mode
 from repro.partitioner import TowerPartitioner, interaction_from_activations
@@ -96,7 +108,7 @@ from repro.serving import (
 )
 from repro.online import OnlineDriver, RolloutPlanner
 from repro.sim import SimCluster
-from repro.training import TrainConfig, Trainer
+from repro.training import MultiTaskEvalResult, TrainConfig, Trainer
 
 __all__ = ["Session", "spec_auc_sweep"]
 
@@ -114,6 +126,9 @@ def _dataset_for(data: DataSpec) -> SyntheticCriteoDataset:
         rho=data.rho,
         noise=data.noise,
         cross_strength=data.cross_strength,
+        cvr_correlation=data.cvr_correlation,
+        cvr_bias=data.cvr_bias,
+        cvr_noise=data.cvr_noise,
     )
     return SyntheticCriteoDataset(config, seed=data.dataset_seed)
 
@@ -123,6 +138,23 @@ def _split_for(data: DataSpec):
     dataset = _dataset_for(data)
     return train_eval_split(
         *dataset.sample(data.num_samples, seed=data.sample_seed),
+        eval_fraction=data.eval_fraction,
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def _task_split_for(data: DataSpec, tasks: Tuple[str, ...]):
+    """Multi-task variant of :func:`_split_for` — (n, T) label matrix.
+
+    A separate cache entry per task tuple; the single-task path keeps
+    using :func:`_split_for` untouched (its labels stay 1-D and its
+    RNG consumption is the bit-identical golden path).
+    """
+    dataset = _dataset_for(data)
+    return train_eval_split(
+        *dataset.sample_tasks(
+            data.num_samples, tasks=tasks, seed=data.sample_seed
+        ),
         eval_fraction=data.eval_fraction,
     )
 
@@ -175,6 +207,7 @@ def clear_caches() -> None:
     """Drop the cross-session dataset / probe caches (mainly for tests)."""
     _dataset_for.cache_clear()
     _split_for.cache_clear()
+    _task_split_for.cache_clear()
     _probed_partition.cache_clear()
 
 
@@ -271,7 +304,15 @@ class Session:
 
         def build() -> DataArtifact:
             data = self._need("data")
-            train, evals = _split_for(data)
+            # A multi-task model section switches the labels to the
+            # (n, T) per-task matrix; everything else (features, split
+            # point, CTR column values) is bit-identical to the
+            # single-task draw.
+            model = self.spec.model
+            if model is not None and len(model.tasks) > 1:
+                train, evals = _task_split_for(data, model.tasks)
+            else:
+                train, evals = _split_for(data)
             return DataArtifact(
                 dataset=_dataset_for(data), train=train, eval=evals
             )
@@ -341,13 +382,12 @@ class Session:
         rng = np.random.default_rng(model.seed)
         if model.variant == "flat":
             cls = DLRM if model.family == "dlrm" else DCN
-            return cls(data.num_dense, tables, arch, rng=rng)
-        partition = self.partition().partition
-        if model.family == "dlrm":
-            return DMTDLRM(
+            base = cls(data.num_dense, tables, arch, rng=rng)
+        elif model.family == "dlrm":
+            base = DMTDLRM(
                 data.num_dense,
                 tables,
-                partition,
+                self.partition().partition,
                 arch,
                 tower_dim=model.tower_dim,
                 c=model.c,
@@ -355,13 +395,29 @@ class Session:
                 pass_through=model.pass_through,
                 rng=rng,
             )
-        return DMTDCN(
-            data.num_dense,
-            tables,
-            partition,
-            arch,
-            tower_dim=model.tower_dim,
-            pass_through=model.pass_through,
+        else:
+            base = DMTDCN(
+                data.num_dense,
+                tables,
+                self.partition().partition,
+                arch,
+                tower_dim=model.tower_dim,
+                pass_through=model.pass_through,
+                rng=rng,
+            )
+        if len(model.tasks) <= 1:
+            # Degenerate preset: the base model itself — same object,
+            # same RNG draws, bit-identical to the pre-multi-task path.
+            return base
+        # The head draws from the same stream *after* the base model,
+        # so the shared plane's initialization is unchanged by adding
+        # tasks (same model.seed => same base weights either way).
+        return MultiTaskModel(
+            base,
+            tasks=model.tasks,
+            head=model.head,
+            head_mlp=model.head_mlp,
+            task_weights=model.task_weights,
             rng=rng,
         )
 
@@ -1119,6 +1175,112 @@ class Session:
 
         return self._stage("online", build)
 
+    def ab(self) -> ABArtifact:
+        """Run the paired A/B comparison (ab section).
+
+        For every seed ``s`` both arms train on the *identical*
+        generated dataset and batch order (the session-layer data
+        cache keys on the data section, which both arms share) under
+        the §5.2 protocol — ``model.seed = 100 + s``, ``train.seed =
+        s`` — so each seed yields one *paired* observation per task
+        and metric.  The artifact reports the per-task mean deltas
+        (B − A) with a Student-t confidence interval at the spec's
+        ``confidence`` level.
+        """
+
+        def build() -> ABArtifact:
+            ab: ABSpec = self._need("ab")
+            self._need("data")
+            model_a: ModelSpec = self._need("model")
+            train_a = self._need("train")
+            self._ensure_analyzed()
+            arms = (
+                (ab.label_a, model_a, train_a),
+                (
+                    ab.label_b,
+                    ab.model_b if ab.model_b is not None else model_a,
+                    ab.train_b if ab.train_b is not None else train_a,
+                ),
+            )
+            tasks = model_a.tasks
+            metric_names = ("auc", "log_loss", "normalized_entropy")
+            values: Dict[str, Dict[str, Dict[str, List[float]]]] = {
+                label: {t: {m: [] for m in metric_names} for t in tasks}
+                for label, _, _ in arms
+            }
+            for s in ab.seeds:
+                for label, model, train in arms:
+                    arm_spec = self.spec.replace(
+                        name=f"{self.spec.name}-{label}-s{s}",
+                        model=model.replace(seed=100 + s),
+                        train=train.replace(seed=s),
+                        perf=None,
+                        serve=None,
+                        checkpoint=None,
+                        tiers=None,
+                        faults=None,
+                        autoscale=None,
+                        online=None,
+                        ab=None,
+                    )
+                    res = (
+                        Session(arm_spec, analyze=self.auto_analyze)
+                        .train()
+                        .eval_result
+                    )
+                    by_task = (
+                        res.by_task
+                        if isinstance(res, MultiTaskEvalResult)
+                        else {tasks[0]: res}
+                    )
+                    for t in tasks:
+                        r = by_task[t]
+                        values[label][t]["auc"].append(float(r.auc))
+                        values[label][t]["log_loss"].append(
+                            float(r.log_loss)
+                        )
+                        values[label][t]["normalized_entropy"].append(
+                            float(r.normalized_entropy)
+                        )
+            n = len(ab.seeds)
+            tcrit = float(
+                _scipy_stats.t.ppf(0.5 + ab.confidence / 2.0, n - 1)
+            )
+            metrics: Dict[str, Dict[str, Dict[str, Any]]] = {}
+            for t in tasks:
+                metrics[t] = {}
+                for m in metric_names:
+                    a_vals = values[ab.label_a][t][m]
+                    b_vals = values[ab.label_b][t][m]
+                    deltas = [b - a for a, b in zip(a_vals, b_vals)]
+                    mean = float(np.mean(deltas))
+                    sd = float(np.std(deltas, ddof=1))
+                    half = tcrit * sd / math.sqrt(n)
+                    ci_low, ci_high = mean - half, mean + half
+                    metrics[t][m] = {
+                        "a_values": a_vals,
+                        "b_values": b_vals,
+                        "deltas": deltas,
+                        "mean_delta": mean,
+                        "ci_low": float(ci_low),
+                        "ci_high": float(ci_high),
+                        # NaN endpoints (a skipped gated metric) compare
+                        # False on both sides -> never "significant".
+                        "excludes_zero": bool(
+                            ci_low > 0.0 or ci_high < 0.0
+                        ),
+                    }
+            return ABArtifact(
+                label_a=ab.label_a,
+                label_b=ab.label_b,
+                seeds=tuple(ab.seeds),
+                confidence=ab.confidence,
+                tasks=tuple(tasks),
+                metrics=metrics,
+            )
+
+        return self._stage("ab", build)
+
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute every stage the spec describes; collect a RunResult."""
@@ -1144,6 +1306,8 @@ class Session:
             result.tier_plan = self.tier_plan().summary()
         if spec.online is not None:
             result.online = self.online().summary()
+        if spec.ab is not None:
+            result.ab = self.ab().summary()
         if "checkpoint" in self._artifacts:
             summary = self._artifacts["checkpoint"].summary()
             if summary:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
@@ -34,6 +35,7 @@ __all__ = [
     "FaultSpec",
     "AutoscaleSpec",
     "OnlineSpec",
+    "ABSpec",
     "RunSpec",
     "SpecError",
 ]
@@ -166,6 +168,9 @@ class DataSpec(_SpecBase):
     Generator knobs mirror
     :class:`repro.data.criteo.SyntheticCriteoConfig` (same defaults);
     ``num_samples``/``eval_fraction`` describe the train/eval split.
+    The ``cvr_*`` knobs shape the conversion label column and are read
+    only when the model's ``tasks`` include ``"cvr"`` (cross-checked
+    at the RunSpec level).
     """
 
     num_dense: int = 13
@@ -175,6 +180,9 @@ class DataSpec(_SpecBase):
     rho: float = 0.85
     noise: float = 0.4
     cross_strength: float = 0.15
+    cvr_correlation: float = 0.7
+    cvr_bias: float = -1.0
+    cvr_noise: float = 0.3
     num_samples: int = 12000
     eval_fraction: float = 1.0 / 3.0
     dataset_seed: int = 0
@@ -190,18 +198,57 @@ class DataSpec(_SpecBase):
         _require(self.cardinality >= 2, "cardinality must be >= 2")
         _require(0.0 <= self.rho <= 1.0, f"rho must be in [0, 1], got {self.rho}")
         _require(self.noise >= 0.0, "noise must be non-negative")
+        _require(
+            0.0 <= self.cvr_correlation <= 1.0,
+            f"cvr_correlation must be in [0, 1], got {self.cvr_correlation}",
+        )
+        _require(
+            self.cvr_noise >= 0.0,
+            f"cvr_noise must be >= 0, got {self.cvr_noise}",
+        )
+        _require(
+            math.isfinite(self.cvr_bias),
+            f"cvr_bias must be finite, got {self.cvr_bias}",
+        )
         _require(self.num_samples >= 2, "num_samples must be >= 2")
         _require(
             0.0 < self.eval_fraction < 1.0,
             f"eval_fraction must be in (0, 1), got {self.eval_fraction}",
         )
 
+    #: cvr knobs only matter when some arm's model learns a cvr head.
+    _CVR_FIELDS = ("cvr_correlation", "cvr_bias", "cvr_noise")
+
+    @property
+    def has_cvr_knobs(self) -> bool:
+        """True when any cvr generator knob departs from its default."""
+        defaults = {f.name: f.default for f in fields(type(self))}
+        return any(
+            getattr(self, name) != defaults[name] for name in self._CVR_FIELDS
+        )
+
+
+#: Prediction tasks the model zoo understands.
+MODEL_TASKS = ("ctr", "cvr")
+#: Multi-task head architectures (see repro.models.multitask).
+MODEL_HEADS = ("shared_bottom", "dbmtl")
+
 
 @dataclass(frozen=True)
 class ModelSpec(_SpecBase):
-    """One recommendation model: family, variant, and dense sizing."""
+    """One recommendation model: family, variant, and dense sizing.
 
-    _TUPLE_FIELDS = ("bottom_mlp", "top_mlp")
+    ``tasks`` turns the single-logit CTR model into a multi-task one
+    sharing the same embedding plane: the first task keeps the base
+    model's top MLP, every further task gets its own ``head_mlp``
+    tower (:class:`~repro.models.multitask.MultiTaskHead`) in ``head``
+    mode — ``"shared_bottom"`` towers only, ``"dbmtl"`` adds a learned
+    residual link from the primary logit.  The default
+    ``tasks=("ctr",)`` is the bit-identical degenerate preset.
+    """
+
+    _TUPLE_FIELDS = ("bottom_mlp", "top_mlp", "tasks", "head_mlp",
+                     "task_weights")
 
     family: str = "dlrm"  # "dlrm" | "dcn"
     variant: str = "dmt"  # "flat" | "dmt"
@@ -214,6 +261,11 @@ class ModelSpec(_SpecBase):
     p: int = 0  # DMT-DLRM flat-bottleneck term
     pass_through: bool = False
     seed: int = 0
+    # Multi-task knobs (no effect with a single task).
+    tasks: Tuple[str, ...] = ("ctr",)
+    head: str = "shared_bottom"  # "shared_bottom" | "dbmtl"
+    head_mlp: Tuple[int, ...] = (32,)
+    task_weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         self._coerce_tuple_fields()
@@ -236,6 +288,56 @@ class ModelSpec(_SpecBase):
         )
         _require(self.tower_dim >= 1, "tower_dim must be >= 1")
         _require(self.c >= 0 and self.p >= 0, "c and p must be non-negative")
+        _require(len(self.tasks) >= 1, "tasks must name at least one task")
+        _require(
+            all(t in MODEL_TASKS for t in self.tasks),
+            f"unknown task(s) in {self.tasks}; expected from {MODEL_TASKS}",
+        )
+        _require(
+            len(set(self.tasks)) == len(self.tasks),
+            f"duplicate tasks in {self.tasks}",
+        )
+        # 'cvr' without 'ctr' constructs (the cvr-without-ctr speccheck
+        # owns the diagnosis) but fails at data generation.
+        _require(
+            self.head in MODEL_HEADS,
+            f"head must be one of {MODEL_HEADS}, got {self.head!r}",
+        )
+        _require(
+            all(
+                isinstance(h, int) and not isinstance(h, bool) and h >= 1
+                for h in self.head_mlp
+            ),
+            "head_mlp hidden sizes must be positive ints",
+        )
+        if self.task_weights is not None:
+            _require(
+                len(self.task_weights) == len(self.tasks),
+                f"{len(self.task_weights)} task_weights for "
+                f"{len(self.tasks)} tasks",
+            )
+            _require(
+                all(
+                    isinstance(w, (int, float))
+                    and not isinstance(w, bool)
+                    and math.isfinite(w)
+                    for w in self.task_weights
+                ),
+                f"task_weights must be finite numbers, got "
+                f"{self.task_weights}",
+            )
+            # Non-positive weights construct (the task-weight-degenerate
+            # speccheck owns that diagnosis).
+        if len(self.tasks) == 1:
+            # Same invariant as TrainSpec: the multi-task knobs are
+            # never read on the single-task path.
+            defaults = {f.name: f.default for f in fields(type(self))}
+            for name in ("head", "head_mlp", "task_weights"):
+                _require(
+                    getattr(self, name) == defaults[name],
+                    f"{name} has no effect with a single task; leave "
+                    f"it at its default ({defaults[name]!r})",
+                )
 
 
 #: Strategies that require the interaction-probe -> TP pipeline.
@@ -1033,6 +1135,92 @@ class OnlineSpec(_SpecBase):
         )
 
 
+@dataclass(frozen=True)
+class ABSpec(_SpecBase):
+    """Paired A/B comparison of two arms under identical seeded data.
+
+    Arm A is the spec's own ``model``/``train`` sections; arm B
+    overrides either or both via ``model_b``/``train_b`` (``None``
+    inherits arm A's section).  For every seed ``s`` both arms train
+    on the *same* generated dataset and batch order (§5.2 protocol:
+    ``model.seed = 100 + s``, ``train.seed = s``), so the per-seed
+    metric difference is a paired observation; :meth:`Session.ab`
+    reports per-task mean deltas with a Student-t confidence interval
+    at level ``confidence``.
+
+    Two arms resolving to the identical model+train is the
+    ``ab-arms-identical`` speccheck's diagnosis, not a construction
+    error — a stored pathological spec still loads for analysis.
+    """
+
+    _TUPLE_FIELDS = ("seeds",)
+
+    seeds: Tuple[int, ...] = (0, 1, 2, 3, 4)
+    confidence: float = 0.95
+    label_a: str = "A"
+    label_b: str = "B"
+    model_b: Optional[ModelSpec] = None
+    train_b: Optional[TrainSpec] = None
+
+    def __post_init__(self) -> None:
+        self._coerce_tuple_fields()
+        _require(
+            len(self.seeds) >= 2,
+            f"a paired confidence interval needs >= 2 seeds, got "
+            f"{len(self.seeds)}",
+        )
+        _require(
+            all(
+                isinstance(s, int) and not isinstance(s, bool) and s >= 0
+                for s in self.seeds
+            ),
+            f"seeds must be non-negative ints, got {self.seeds}",
+        )
+        _require(
+            len(set(self.seeds)) == len(self.seeds),
+            f"seeds must be distinct, got {self.seeds}",
+        )
+        _require(
+            0.0 < self.confidence < 1.0,
+            f"confidence must be in (0, 1), got {self.confidence}",
+        )
+        for label in (self.label_a, self.label_b):
+            _require(
+                isinstance(label, str) and bool(label),
+                "arm labels must be non-empty strings",
+            )
+        _require(
+            self.label_a != self.label_b,
+            f"arm labels must differ, got {self.label_a!r} twice",
+        )
+        _require(
+            self.model_b is None or isinstance(self.model_b, ModelSpec),
+            "model_b must be a ModelSpec or None",
+        )
+        _require(
+            self.train_b is None or isinstance(self.train_b, TrainSpec),
+            "train_b must be a TrainSpec or None",
+        )
+        if self.train_b is not None:
+            _require(
+                self.train_b.mode == "single",
+                "ab arm B trains single-process; set train_b.mode='single'",
+            )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ABSpec":
+        _require(
+            isinstance(data, dict),
+            f"ABSpec expects a mapping, got {type(data).__name__}",
+        )
+        data = dict(data)
+        if isinstance(data.get("model_b"), dict):
+            data["model_b"] = ModelSpec.from_dict(data["model_b"])
+        if isinstance(data.get("train_b"), dict):
+            data["train_b"] = TrainSpec.from_dict(data["train_b"])
+        return super().from_dict(data)  # type: ignore[return-value]
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RunSpec(_SpecBase):
@@ -1063,6 +1251,7 @@ class RunSpec(_SpecBase):
     faults: Optional[FaultSpec] = None
     autoscale: Optional[AutoscaleSpec] = None
     online: Optional[OnlineSpec] = None
+    ab: Optional[ABSpec] = None
 
     _SECTIONS = {
         "cluster": ClusterSpec,
@@ -1077,6 +1266,7 @@ class RunSpec(_SpecBase):
         "faults": FaultSpec,
         "autoscale": AutoscaleSpec,
         "online": OnlineSpec,
+        "ab": ABSpec,
     }
 
     def __post_init__(self) -> None:
@@ -1151,6 +1341,35 @@ class RunSpec(_SpecBase):
                 self.serve is not None and self.serve.uses_fleet,
                 "an online section hot-swaps fleet replicas; it needs "
                 "a serve section with fleet_replicas set",
+            )
+        if self.ab is not None:
+            _require(
+                self.train is not None and self.train.mode == "single",
+                "an ab section replays two single-process training arms; "
+                "it needs data, model, and train sections with "
+                "train.mode='single'",
+            )
+            if self.ab.model_b is not None:
+                assert self.model is not None  # train requires a model
+                _require(
+                    self.ab.model_b.tasks == self.model.tasks,
+                    f"paired per-task deltas need aligned task lists: "
+                    f"arm A has tasks={self.model.tasks}, arm B has "
+                    f"tasks={self.ab.model_b.tasks}",
+                )
+                _require(
+                    self.ab.model_b.variant != "dmt"
+                    or self.partition is not None,
+                    "ab arm B is a DMT variant and requires a partition "
+                    "section",
+                )
+        if self.data is not None and self.data.has_cvr_knobs:
+            _require(
+                self.model is not None and "cvr" in self.model.tasks,
+                "cvr_* data knobs shape the conversion label column, "
+                "which is only generated for a model whose tasks "
+                "include 'cvr'; leave them at their defaults or add "
+                "'cvr' to model.tasks",
             )
         if self.checkpoint is not None:
             _require(

@@ -52,6 +52,12 @@ class SyntheticCriteoConfig:
         pair terms, and the linear dense term.
     noise:
         Std of Gaussian logit noise (bounds achievable AUC).
+    cvr_correlation / cvr_bias / cvr_noise:
+        Conversion-label knobs (:meth:`SyntheticCriteoDataset.sample_tasks`
+        only): the CVR logit is ``cvr_bias + cvr_correlation * (ctr_logit
+        - bias) + cvr_noise * eps`` and conversions are drawn only on
+        clicked impressions.  ``cvr_correlation`` controls how much of
+        the click structure the conversion task shares.
     """
 
     num_dense: int = 13
@@ -64,6 +70,9 @@ class SyntheticCriteoConfig:
     dense_strength: float = 0.6
     noise: float = 0.4
     bias: float = -0.5
+    cvr_correlation: float = 0.7
+    cvr_bias: float = -1.0
+    cvr_noise: float = 0.3
 
     def __post_init__(self) -> None:
         if self.num_sparse < self.num_blocks:
@@ -75,6 +84,12 @@ class SyntheticCriteoConfig:
             raise ValueError(f"rho must be in [0, 1], got {self.rho}")
         if min(self.num_dense, self.cardinality, self.num_blocks) <= 0:
             raise ValueError("counts must be positive")
+        if not 0.0 <= self.cvr_correlation <= 1.0:
+            raise ValueError(
+                f"cvr_correlation must be in [0, 1], got {self.cvr_correlation}"
+            )
+        if self.cvr_noise < 0.0:
+            raise ValueError(f"cvr_noise must be >= 0, got {self.cvr_noise}")
 
 
 class SyntheticCriteoDataset:
@@ -156,6 +171,68 @@ class SyntheticCriteoDataset:
         labels = rng.binomial(1, sigmoid(self._logits(dense, u, rng))).astype(
             np.float64
         )
+        return dense, ids, labels
+
+    def sample_tasks(
+        self,
+        n: int,
+        tasks: Tuple[str, ...] = ("ctr", "cvr"),
+        seed: "int | None" = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw ``n`` samples with per-task labels: (dense, ids, (n, T)).
+
+        Label columns follow ``tasks`` order.  The RNG draw sequence
+        replays :meth:`sample` exactly through the CTR binomial, so for
+        a given seed the features and the ``ctr`` column are
+        bit-identical to the single-task path; CVR draws come after.
+        Conversion labels are gated on clicks: ``cvr`` is 1 only where
+        ``ctr`` is 1.
+        """
+        if n <= 0:
+            raise ValueError(f"sample count must be positive, got {n}")
+        tasks = tuple(tasks)
+        unknown = set(tasks) - {"ctr", "cvr"}
+        if unknown:
+            raise ValueError(f"unknown tasks {sorted(unknown)}")
+        if len(set(tasks)) != len(tasks):
+            raise ValueError(f"duplicate tasks in {tasks}")
+        if "cvr" in tasks and "ctr" not in tasks:
+            raise ValueError(
+                "cvr labels are defined only on clicks; tasks must "
+                "include 'ctr'"
+            )
+        c = self.config
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else self._structure_rng
+        )
+        dense = rng.standard_normal((n, c.num_dense))
+        z = rng.standard_normal((n, c.num_blocks))
+        eps = rng.standard_normal((n, c.num_sparse))
+        u = c.rho * z[:, self.block_of] + np.sqrt(1 - c.rho**2) * eps
+        bins = np.clip(
+            (norm.cdf(u) * c.cardinality).astype(np.int64), 0, c.cardinality - 1
+        )
+        ids = np.take_along_axis(
+            self.bin_perm[None, :, :].repeat(n, axis=0),
+            bins[:, :, None],
+            axis=2,
+        )[:, :, 0]
+        ctr_logit = self._logits(dense, u, rng)
+        columns = {"ctr": rng.binomial(1, sigmoid(ctr_logit)).astype(np.float64)}
+        if "cvr" in tasks:
+            # Conversion inherits the click's structural logit (minus
+            # the shared bias) scaled by the correlation knob, plus its
+            # own noise; only clicked rows can convert.
+            cvr_logit = (
+                c.cvr_bias
+                + c.cvr_correlation * (ctr_logit - c.bias)
+                + c.cvr_noise * rng.standard_normal(n)
+            )
+            conv = rng.binomial(1, sigmoid(cvr_logit)).astype(np.float64)
+            columns["cvr"] = conv * columns["ctr"]
+        labels = np.stack([columns[t] for t in tasks], axis=1)
         return dense, ids, labels
 
     def _logits(

@@ -1,0 +1,160 @@
+"""Multi-task towers: DBMTL vs shared-bottom under paired A/B.
+
+Production recommenders rank with more than one objective — the click
+(CTR) model decides what surfaces, the conversion (CVR) model what
+pays — and the embedding plane is by far the most expensive part of
+either.  Multi-task towers amortize it: both tasks share the tables
+and the bottom MLP, and only the per-task top towers differ, so the
+second objective rides along at (almost) zero embedding cost.
+
+The experiment compares two head architectures **at matched embedding
+cost** (identical tables, bottom MLP, and tower widths):
+
+- **shared_bottom** (arm A): each task gets an independent tower over
+  the shared features; the tasks only interact through the shared
+  plane's gradients.
+- **dbmtl** (arm B): the CVR tower additionally receives the CTR
+  *logit* through a learned residual link (Bayesian task chaining a la
+  DBMTL) — conversion is defined only on clicks, so the click logit is
+  the single most informative feature the CVR head could ask for.
+
+Methodology — :meth:`repro.api.Session.ab`: for every seed ``s`` both
+arms train on the *identical* generated dataset and batch order
+(``model.seed = 100 + s``, ``train.seed = s``, the §5.2 protocol), so
+each seed yields one **paired** per-task observation and seed-to-seed
+data variance cancels in the difference.  The table reports mean
+paired deltas (B − A) with a Student-t confidence interval; the
+headline is that the DBMTL CVR AUC delta's CI excludes zero — the
+residual link buys real conversion quality — while CTR stays matched
+(its CI straddles zero: same embedding plane, same primary tower).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.api import (
+    ABSpec,
+    ClusterSpec,
+    DataSpec,
+    ModelSpec,
+    RunSpec,
+    Session,
+    TrainSpec,
+)
+from repro.experiments.registry import register
+from repro.experiments.result import ExperimentResult, format_table
+
+_CLUSTER = ClusterSpec(num_hosts=1, gpus_per_host=2, generation="A100")
+
+#: Arm A: independent per-task towers over the shared plane.
+_SHARED_BOTTOM = ModelSpec(
+    family="dlrm",
+    variant="flat",
+    embedding_dim=8,
+    bottom_mlp=(16,),
+    top_mlp=(32, 16),
+    tasks=("ctr", "cvr"),
+    head="shared_bottom",
+    head_mlp=(16,),
+)
+
+
+def ab_spec(fast: bool = True) -> RunSpec:
+    """The paired two-arm spec: shared-bottom (A) vs DBMTL (B).
+
+    Two epochs is deliberate: the DBMTL link transfers the primary
+    tower's structure to the conversion head immediately, while the
+    shared-bottom CVR tower must relearn it from the (click-gated,
+    therefore much smaller) conversion sample — the regime where task
+    chaining pays.
+    """
+    seeds = tuple(range(5)) if fast else tuple(range(8))
+    return RunSpec(
+        name="multi-task-ab",
+        cluster=_CLUSTER,
+        data=DataSpec(
+            num_dense=4,
+            num_sparse=8,
+            cardinality=32,
+            num_blocks=2,
+            num_samples=6000,
+            eval_fraction=0.25,
+            cvr_correlation=0.9,
+            cvr_noise=0.2,
+        ),
+        model=_SHARED_BOTTOM,
+        train=TrainSpec(mode="single", batch_size=128, epochs=2),
+        ab=ABSpec(
+            seeds=seeds,
+            label_a="shared_bottom",
+            label_b="dbmtl",
+            model_b=_SHARED_BOTTOM.replace(head="dbmtl"),
+        ),
+    )
+
+
+def experiment_specs(fast: bool = True) -> Dict[str, RunSpec]:
+    """Every validating RunSpec this experiment runs, keyed by arm."""
+    return {"ab": ab_spec(fast)}
+
+
+@register("multi_task_ab", "Multi-task towers: DBMTL vs shared-bottom A/B")
+def run(fast: bool = True) -> ExperimentResult:
+    spec = ab_spec(fast)
+    art = Session(spec).ab()
+
+    rows = []
+    for task in art.tasks:
+        for metric, label in (
+            ("auc", "AUC"),
+            ("log_loss", "LogLoss"),
+            ("normalized_entropy", "NE"),
+        ):
+            cell = art.delta(task, metric)
+            rows.append(
+                [
+                    task,
+                    label,
+                    f"{cell['mean_delta']:+.4f}",
+                    f"[{cell['ci_low']:+.4f}, {cell['ci_high']:+.4f}]",
+                    "yes" if cell["excludes_zero"] else "no",
+                ]
+            )
+    body = format_table(
+        ["task", "metric", "mean delta (B-A)", f"{art.confidence:.0%} CI",
+         "excludes 0"],
+        rows,
+    )
+    cvr = art.delta("cvr", "auc")
+    ctr = art.delta("ctr", "auc")
+    body += (
+        f"\n{len(art.seeds)} paired seeds, arms {art.label_b!r} vs "
+        f"{art.label_a!r} at matched embedding cost (identical tables, "
+        f"bottom MLP, tower widths; the DBMTL arm adds one scalar link "
+        f"per aux task).\n"
+        f"CVR AUC: DBMTL {cvr['mean_delta']:+.4f} "
+        f"[{cvr['ci_low']:+.4f}, {cvr['ci_high']:+.4f}] — "
+        f"{'significant: the residual click link buys real conversion quality' if cvr['excludes_zero'] else 'NOT significant (investigate)'}.\n"
+        f"CTR AUC: {ctr['mean_delta']:+.4f} "
+        f"[{ctr['ci_low']:+.4f}, {ctr['ci_high']:+.4f}] — "
+        f"{'matched, as expected (same primary tower)' if not ctr['excludes_zero'] else 'shifted (the link back-propagates into the primary tower)'}."
+    )
+
+    return ExperimentResult(
+        exp_id="multi_task_ab",
+        title="Multi-task towers: DBMTL vs shared-bottom paired A/B",
+        body=body,
+        data={
+            "spec": spec.to_dict(),
+            "ab": art.summary(),
+            "cvr_auc_delta": cvr,
+            "ctr_auc_delta": ctr,
+        },
+        paper_reference=(
+            "beyond-paper extension: multi-objective ranking over the "
+            "paper's shared embedding plane (§4 trains one CTR "
+            "objective; cf. DBMTL 1902.09154 and ESMM 1804.07931 on "
+            "click-gated conversion modeling)"
+        ),
+    )

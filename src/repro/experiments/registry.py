@@ -44,6 +44,7 @@ DRIVER_MODULES = (
     "checkpointing",
     "fault_tolerance",
     "model_freshness",
+    "multi_task_ab",
 )
 
 _loaded = False

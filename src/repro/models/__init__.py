@@ -20,6 +20,7 @@ from repro.models.dlrm import DLRM
 from repro.models.dcn import DCN
 from repro.models.tower_module import DCNTowerModule, DLRMTowerModule, PassThroughTower
 from repro.models.dmt import DMTDCN, DMTDLRM
+from repro.models.multitask import MultiTaskHead, MultiTaskModel
 from repro.models.xlrm import XLRMConfig, xlrm_paper_config
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "DCN",
     "DMTDLRM",
     "DMTDCN",
+    "MultiTaskHead",
+    "MultiTaskModel",
     "DLRMTowerModule",
     "DCNTowerModule",
     "PassThroughTower",

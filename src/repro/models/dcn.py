@@ -57,6 +57,7 @@ class DCN(Module):
         self.cross = CrossNet(
             self.cross_dim, arch.cross_layers, rng=rng, name="cross"
         )
+        self.top_in_features = self.cross_dim
         self.top = MLP(
             [self.cross_dim, *arch.top_mlp, 1],
             rng=rng,
@@ -65,9 +66,10 @@ class DCN(Module):
         )
 
     # ------------------------------------------------------------------
-    def forward_with_embeddings(
+    def features_with_embeddings(
         self, dense: np.ndarray, embs: np.ndarray
     ) -> np.ndarray:
+        """Crossed features feeding the top MLP, (B, ``top_in_features``)."""
         B = dense.shape[0]
         if embs.shape != (B, self.num_sparse, self.embedding_dim):
             raise ValueError(
@@ -76,19 +78,30 @@ class DCN(Module):
             )
         bottom_out = self.bottom(dense)
         x0 = np.concatenate([bottom_out, embs.reshape(B, -1)], axis=1)
-        crossed = self.cross(x0)
+        return self.cross(x0)
+
+    def features_backward(
+        self, grad_features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Backprop from the top-MLP input; returns (g_dense, g_embs)."""
+        g_x0 = self.cross.backward(grad_features)
+        N = self.embedding_dim
+        g_bottom = g_x0[:, :N]
+        g_embs = g_x0[:, N:].reshape(-1, self.num_sparse, N)
+        g_dense = self.bottom.backward(g_bottom)
+        return g_dense, g_embs
+
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        crossed = self.features_with_embeddings(dense, embs)
         return self.top(crossed).reshape(-1)
 
     def backward_with_embeddings(
         self, grad_logits: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         g_crossed = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
-        g_x0 = self.cross.backward(g_crossed)
-        N = self.embedding_dim
-        g_bottom = g_x0[:, :N]
-        g_embs = g_x0[:, N:].reshape(-1, self.num_sparse, N)
-        g_dense = self.bottom.backward(g_bottom)
-        return g_dense, g_embs
+        return self.features_backward(g_crossed)
 
     # ------------------------------------------------------------------
     def forward(self, dense: np.ndarray, ids: np.ndarray) -> np.ndarray:

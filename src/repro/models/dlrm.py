@@ -66,6 +66,7 @@ class DLRM(Module):
             num_inputs=self.num_sparse + 1, dim=arch.embedding_dim
         )
         top_in = arch.embedding_dim + self.interaction.out_features
+        self.top_in_features = top_in
         self.top = MLP(
             [top_in, *arch.top_mlp, 1],
             rng=rng,
@@ -77,13 +78,16 @@ class DLRM(Module):
     # ------------------------------------------------------------------
     # Dense plane (embeddings supplied externally)
     # ------------------------------------------------------------------
-    def forward_with_embeddings(
+    def features_with_embeddings(
         self, dense: np.ndarray, embs: np.ndarray
     ) -> np.ndarray:
-        """Logits from dense features and pre-looked-up embeddings.
+        """Top-MLP input features [bottom_out, dots], shape
+        (B, ``top_in_features``).
 
-        ``embs`` has shape (B, F, N) — exactly what the embedding
-        exchange delivers to each rank.
+        The seam between the interaction plane and the logit head:
+        :class:`~repro.models.multitask.MultiTaskModel` attaches extra
+        task towers here while the single-task path routes the same
+        array straight through ``self.top``.
         """
         B = dense.shape[0]
         if embs.shape != (B, self.num_sparse, self.embedding_dim):
@@ -94,7 +98,30 @@ class DLRM(Module):
         bottom_out = self.bottom(dense)  # (B, N)
         stacked = np.concatenate([bottom_out[:, None, :], embs], axis=1)
         dots = self.interaction(stacked)  # (B, C(F+1, 2))
-        top_in = np.concatenate([bottom_out, dots], axis=1)
+        return np.concatenate([bottom_out, dots], axis=1)
+
+    def features_backward(
+        self, grad_features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Backprop from the top-MLP input; returns (g_dense, g_embs)."""
+        N = self.embedding_dim
+        g_bottom_direct = grad_features[:, :N]
+        g_dots = grad_features[:, N:]
+        g_stacked = self.interaction.backward(g_dots)  # (B, F+1, N)
+        g_bottom = g_bottom_direct + g_stacked[:, 0]
+        g_embs = g_stacked[:, 1:]
+        g_dense = self.bottom.backward(g_bottom)
+        return g_dense, g_embs
+
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        """Logits from dense features and pre-looked-up embeddings.
+
+        ``embs`` has shape (B, F, N) — exactly what the embedding
+        exchange delivers to each rank.
+        """
+        top_in = self.features_with_embeddings(dense, embs)
         return self.top(top_in).reshape(-1)
 
     def backward_with_embeddings(
@@ -102,14 +129,7 @@ class DLRM(Module):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Backprop the dense plane; returns (grad_dense, grad_embs)."""
         g_top_in = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
-        N = self.embedding_dim
-        g_bottom_direct = g_top_in[:, :N]
-        g_dots = g_top_in[:, N:]
-        g_stacked = self.interaction.backward(g_dots)  # (B, F+1, N)
-        g_bottom = g_bottom_direct + g_stacked[:, 0]
-        g_embs = g_stacked[:, 1:]
-        g_dense = self.bottom.backward(g_bottom)
-        return g_dense, g_embs
+        return self.features_backward(g_top_in)
 
     # ------------------------------------------------------------------
     # Full single-process plane

@@ -167,14 +167,16 @@ class DMTDLRM(_DMTBase):
         total_vectors = 1 + sum(t.out_vectors for t in self.towers)
         self.interaction = DotInteraction(total_vectors, vector_dim)
         top_in = vector_dim + self.interaction.out_features
+        self.top_in_features = top_in
         top_hidden = tuple(top_mlp) if top_mlp is not None else arch.top_mlp
         self.top = MLP(
             [top_in, *top_hidden, 1], rng=rng, final_activation=False, name="top"
         )
 
-    def forward_with_embeddings(
+    def features_with_embeddings(
         self, dense: np.ndarray, embs: np.ndarray
     ) -> np.ndarray:
+        """Top-MLP input [bvec, dots], shape (B, ``top_in_features``)."""
         B = dense.shape[0]
         bottom_out = self.bottom(dense)
         bvec = self.bottom_proj(bottom_out) if self.bottom_proj else bottom_out
@@ -185,16 +187,15 @@ class DMTDLRM(_DMTBase):
         ]
         stacked = np.concatenate([bvec[:, None, :]] + views, axis=1)
         dots = self.interaction(stacked)
-        top_in = np.concatenate([bvec, dots], axis=1)
-        return self.top(top_in).reshape(-1)
+        return np.concatenate([bvec, dots], axis=1)
 
-    def backward_with_embeddings(
-        self, grad_logits: np.ndarray
+    def features_backward(
+        self, grad_features: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        g_top_in = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
+        """Backprop from the top-MLP input; returns (g_dense, g_embs)."""
         vd = self.vector_dim
-        g_bvec = g_top_in[:, :vd]
-        g_dots = g_top_in[:, vd:]
+        g_bvec = grad_features[:, :vd]
+        g_dots = grad_features[:, vd:]
         g_stacked = self.interaction.backward(g_dots)
         g_bvec = g_bvec + g_stacked[:, 0]
         B = g_stacked.shape[0]
@@ -209,6 +210,18 @@ class DMTDLRM(_DMTBase):
         )
         g_dense = self.bottom.backward(g_bottom)
         return g_dense, g_embs
+
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        top_in = self.features_with_embeddings(dense, embs)
+        return self.top(top_in).reshape(-1)
+
+    def backward_with_embeddings(
+        self, grad_logits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        g_top_in = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
+        return self.features_backward(g_top_in)
 
     def dense_parameters(self) -> List:
         params = self.bottom.parameters() + self.top.parameters()
@@ -275,6 +288,7 @@ class DMTDCN(_DMTBase):
             else arch.cross_layers
         )
         self.cross = CrossNet(self.cross_dim, n_cross, rng=rng, name="cross")
+        self.top_in_features = self.cross_dim
         self.top = MLP(
             [self.cross_dim, *arch.top_mlp, 1],
             rng=rng,
@@ -282,21 +296,20 @@ class DMTDCN(_DMTBase):
             name="top",
         )
 
-    def forward_with_embeddings(
+    def features_with_embeddings(
         self, dense: np.ndarray, embs: np.ndarray
     ) -> np.ndarray:
-        B = dense.shape[0]
+        """Crossed features feeding the top MLP, (B, ``top_in_features``)."""
         bottom_out = self.bottom(dense)
         tower_outs = self._towers_forward(embs)
         x0 = np.concatenate([bottom_out] + tower_outs, axis=1)
-        crossed = self.cross(x0)
-        return self.top(crossed).reshape(-1)
+        return self.cross(x0)
 
-    def backward_with_embeddings(
-        self, grad_logits: np.ndarray
+    def features_backward(
+        self, grad_features: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        g_crossed = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
-        g_x0 = self.cross.backward(g_crossed)
+        """Backprop from the top-MLP input; returns (g_dense, g_embs)."""
+        g_x0 = self.cross.backward(grad_features)
         N = self.embedding_dim
         g_bottom = g_x0[:, :N]
         B = g_x0.shape[0]
@@ -307,6 +320,18 @@ class DMTDCN(_DMTBase):
         g_embs = self._towers_backward(tower_grads, B)
         g_dense = self.bottom.backward(g_bottom)
         return g_dense, g_embs
+
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        crossed = self.features_with_embeddings(dense, embs)
+        return self.top(crossed).reshape(-1)
+
+    def backward_with_embeddings(
+        self, grad_logits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        g_crossed = self.top.backward(np.asarray(grad_logits).reshape(-1, 1))
+        return self.features_backward(g_crossed)
 
     def dense_parameters(self) -> List:
         return (

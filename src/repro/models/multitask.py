@@ -1,0 +1,267 @@
+"""Multi-task towers over the shared embedding plane.
+
+Production recommenders are multi-objective: the same embedding plane
+feeds a CTR tower and a CVR tower, where conversion labels exist only
+on clicked impressions.  This module composes extra task towers onto
+any base model that exposes the ``features_with_embeddings`` /
+``features_backward`` seam (DLRM, DCN, DMT-DLRM, DMT-DCN):
+
+- **shared_bottom** — each auxiliary task gets its own small MLP tower
+  over the shared interaction features; tasks interact only through
+  the shared representation.
+- **dbmtl** — like shared_bottom plus a learned scalar residual link
+  from the primary (CTR) logit into each auxiliary logit
+  (``logit_aux = tower_aux(x) + link * logit_ctr``), a simplification
+  of DBMTL's Bayesian p(cvr | x, ctr) coupling: the well-estimated
+  all-impressions CTR ranking transfers into the clicks-only CVR task.
+
+The primary task's tower IS the base model's ``top`` MLP — a one-task
+``MultiTaskModel`` therefore runs the exact arithmetic of the base
+model and stays bit-identical to the single-task path (the golden
+fingerprint oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, Parameter
+
+HEAD_MODES = ("shared_bottom", "dbmtl")
+KNOWN_TASKS = ("ctr", "cvr")
+
+
+class MultiTaskHead(Module):
+    """Auxiliary task towers over shared interaction features.
+
+    Holds one logit tower per *auxiliary* task (the primary task's
+    tower lives in the base model).  In ``dbmtl`` mode each tower also
+    owns a scalar residual link from the primary logit, initialized at
+    1.0 — the strongest-coupling prior; training anneals it.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        tasks: Sequence[str],
+        mode: str = "shared_bottom",
+        hidden: Sequence[int] = (32,),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if mode not in HEAD_MODES:
+            raise ValueError(f"head mode {mode!r} not in {HEAD_MODES}")
+        if not tasks:
+            raise ValueError("MultiTaskHead needs at least one task")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.tasks = tuple(tasks)
+        self.mode = mode
+        self.towers = [
+            MLP(
+                [in_features, *hidden, 1],
+                rng=rng,
+                final_activation=False,
+                name=f"tower_{t}",
+            )
+            for t in self.tasks
+        ]
+        self.links: List[Parameter] = (
+            [Parameter(np.ones(1), name=f"link_{t}") for t in self.tasks]
+            if mode == "dbmtl"
+            else []
+        )
+        self._primary: Optional[np.ndarray] = None
+
+    def forward(
+        self, features: np.ndarray, primary_logits: np.ndarray
+    ) -> np.ndarray:
+        """Per-auxiliary-task logits, shape (B, len(tasks))."""
+        self._primary = np.asarray(primary_logits).reshape(-1)
+        cols = []
+        for i, tower in enumerate(self.towers):
+            logit = tower(features).reshape(-1)
+            if self.links:
+                logit = logit + self.links[i].data[0] * self._primary
+            cols.append(logit)
+        return np.stack(cols, axis=1)
+
+    def backward(self, grad: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (g_features, g_primary_logits).
+
+        ``g_primary_logits`` is the residual-link contribution flowing
+        back into the primary tower (zero in shared_bottom mode).
+        """
+        if self._primary is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.asarray(grad)
+        g_features = np.zeros((grad.shape[0], self.in_features))
+        g_primary = np.zeros(grad.shape[0])
+        for i, tower in enumerate(self.towers):
+            g_i = grad[:, i]
+            g_features += tower.backward(g_i.reshape(-1, 1))
+            if self.links:
+                self.links[i].add_grad(
+                    np.array([float(np.dot(g_i, self._primary))])
+                )
+                g_primary += self.links[i].data[0] * g_i
+        return g_features, g_primary
+
+    def flops_per_sample(self) -> int:
+        flops = sum(t.flops_per_sample() for t in self.towers)
+        if self.links:
+            flops += 2 * len(self.links)  # scale + add per residual link
+        return flops
+
+
+class MultiTaskModel(Module):
+    """A base model plus auxiliary task towers sharing its embeddings.
+
+    ``forward`` returns (B, T) logits with column order = ``tasks``;
+    column 0 is the primary task produced by the base model's own top
+    MLP.  ``backward`` accepts the matching (B, T) gradient (from
+    :class:`~repro.nn.loss.MultiLoss`).
+
+    ``task_gates`` maps the CVR column to the CTR column so the loss
+    restricts conversion terms to clicked rows.
+    """
+
+    def __init__(
+        self,
+        base: Module,
+        tasks: Sequence[str],
+        head: str = "shared_bottom",
+        head_mlp: Sequence[int] = (32,),
+        task_weights: Optional[Sequence[float]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        tasks = tuple(tasks)
+        if not tasks:
+            raise ValueError("MultiTaskModel needs at least one task")
+        if len(set(tasks)) != len(tasks):
+            raise ValueError(f"duplicate tasks in {tasks}")
+        unknown = set(tasks) - set(KNOWN_TASKS)
+        if unknown:
+            raise ValueError(f"unknown tasks {sorted(unknown)}")
+        if not hasattr(base, "features_with_embeddings"):
+            raise TypeError(
+                f"{type(base).__name__} does not expose the "
+                "features_with_embeddings seam"
+            )
+        self.base = base
+        self.tasks = tasks
+        self.head_mode = head
+        self.task_weights: Tuple[float, ...] = (
+            tuple(float(w) for w in task_weights)
+            if task_weights is not None
+            else (1.0,) * len(tasks)
+        )
+        if len(self.task_weights) != len(tasks):
+            raise ValueError(
+                f"{len(self.task_weights)} weights for {len(tasks)} tasks"
+            )
+        # Conversion is defined only on clicks: gate cvr on ctr.
+        self.task_gates: Dict[int, int] = {
+            i: tasks.index("ctr")
+            for i, t in enumerate(tasks)
+            if t == "cvr" and "ctr" in tasks
+        }
+        self.head: Optional[MultiTaskHead] = (
+            MultiTaskHead(
+                base.top_in_features,
+                tasks[1:],
+                mode=head,
+                hidden=head_mlp,
+                rng=rng,
+            )
+            if len(tasks) > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_dense(self) -> int:
+        return self.base.num_dense
+
+    @property
+    def num_sparse(self) -> int:
+        return self.base.num_sparse
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.base.embedding_dim
+
+    @property
+    def embeddings(self):
+        return self.base.embeddings
+
+    # ------------------------------------------------------------------
+    def forward_with_embeddings(
+        self, dense: np.ndarray, embs: np.ndarray
+    ) -> np.ndarray:
+        features = self.base.features_with_embeddings(dense, embs)
+        primary = self.base.top(features).reshape(-1)
+        if self.head is None:
+            return primary[:, None]
+        aux = self.head(features, primary)
+        return np.concatenate([primary[:, None], aux], axis=1)
+
+    def backward_with_embeddings(
+        self, grad_logits: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        grad_logits = np.asarray(grad_logits)
+        if self.head is None:
+            g_features = self.base.top.backward(grad_logits.reshape(-1, 1))
+            return self.base.features_backward(g_features)
+        if grad_logits.ndim != 2 or grad_logits.shape[1] != self.num_tasks:
+            raise ValueError(
+                f"expected (B, {self.num_tasks}) grad, got {grad_logits.shape}"
+            )
+        g_features_aux, g_primary_link = self.head.backward(grad_logits[:, 1:])
+        g_primary = grad_logits[:, 0] + g_primary_link
+        g_features = (
+            self.base.top.backward(g_primary.reshape(-1, 1)) + g_features_aux
+        )
+        return self.base.features_backward(g_features)
+
+    def forward(self, dense: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        embs = self.base.embeddings(ids)
+        return self.forward_with_embeddings(dense, embs)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        g_dense, g_embs = self.backward_with_embeddings(grad_logits)
+        self.base.embeddings.backward(g_embs)
+        return g_dense
+
+    # ------------------------------------------------------------------
+    def dense_parameters(self) -> List:
+        params = list(self.base.dense_parameters())
+        if self.head is not None:
+            params += self.head.parameters()
+        return params
+
+    def tower_parameters(self) -> List:
+        """DMT tower-local parameters of the base model, if any."""
+        inner = getattr(self.base, "tower_parameters", None)
+        return inner() if inner is not None else []
+
+    def sparse_parameters(self) -> List:
+        return self.base.sparse_parameters()
+
+    def flops_per_sample(self) -> int:
+        flops = self.base.flops_per_sample()
+        if self.head is not None:
+            flops += self.head.flops_per_sample()
+        return flops
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiTaskModel(tasks={self.tasks}, head={self.head_mode!r}, "
+            f"base={self.base!r})"
+        )

@@ -26,7 +26,7 @@ from repro.nn.embedding import (
 )
 from repro.nn.sparse import RowwiseGrad
 from repro.nn.interactions import CrossNet, DotInteraction
-from repro.nn.loss import BCEWithLogitsLoss
+from repro.nn.loss import BCEWithLogitsLoss, MultiLoss
 from repro.nn.optim import SGD, Adagrad, Adam, Optimizer, RowwiseAdagrad
 from repro.nn import functional
 
@@ -47,6 +47,7 @@ __all__ = [
     "DotInteraction",
     "CrossNet",
     "BCEWithLogitsLoss",
+    "MultiLoss",
     "Optimizer",
     "SGD",
     "Adam",

@@ -10,10 +10,12 @@ freshness loop runs in two passes:
    :meth:`~repro.training.Trainer.train_window`, (c) emits a delta
    checkpoint of the rows the window touched (compacted to a full save
    every ``compact_every`` deltas), and (d) runs the canary gate: if
-   the candidate's eval AUC regresses more than ``canary_threshold``
-   below the deployed version's, the rollout is rolled back and the
-   deployed version stays; otherwise the candidate deploys at the next
-   window boundary.
+   *any* task's candidate eval AUC regresses more than
+   ``canary_threshold`` below the deployed version's (per-task for
+   multi-task trainers; single-class windows record a typed skip
+   instead of gating), the rollout is rolled back and the deployed
+   version stays; otherwise the candidate deploys at the next window
+   boundary.
 
 2. :class:`RolloutPlanner` turns the driver's deploy/rollback decisions
    into a concrete :class:`~repro.serving.faults.SwapEvent` schedule —
@@ -160,11 +162,26 @@ class OnlineDriver:
         ]
 
     # ------------------------------------------------------------------
-    def _eval_auc(self, state: Dict[str, np.ndarray], evals: Arrays) -> float:
-        """AUC of a saved weight snapshot on one window's eval slice
-        (the live candidate weights are restored by the caller)."""
+    @staticmethod
+    def _auc_by_task(result: Any) -> Dict[str, float]:
+        """Per-task eval AUCs; single-task results map to ``primary``."""
+        by_task = getattr(result, "by_task", None)
+        if by_task is None:
+            return {"primary": float(result.auc)}
+        return {name: float(r.auc) for name, r in by_task.items()}
+
+    def _eval_window(
+        self, state: Dict[str, np.ndarray], evals: Arrays
+    ) -> Tuple[float, Dict[str, float]]:
+        """(headline AUC, per-task AUCs) of a saved weight snapshot on
+        one window's eval slice (the live candidate weights are
+        restored by the caller).  Single-class canary windows yield NaN
+        (a typed skip recorded in the window report) instead of
+        crashing mid-stream.
+        """
         self.model.load_state_dict(state)
-        return self.trainer.evaluate(*evals).auc
+        result = self.trainer.evaluate(*evals, single_class="nan")
+        return float(result.auc), self._auc_by_task(result)
 
     def _ckpt_path(self, version: int, kind: str) -> str:
         return os.path.join(self.directory, f"v{version:05d}_{kind}")
@@ -198,7 +215,9 @@ class OnlineDriver:
         candidate_state = self.model.state_dict()
         deployed_state = candidate_state
         frozen_state = candidate_state
-        auc0 = self.trainer.evaluate(*eval0).auc
+        result0 = self.trainer.evaluate(*eval0, single_class="nan")
+        auc0 = float(result0.auc)
+        auc0_by_task = self._auc_by_task(result0)
         report.num_versions = 1
         deployed_window = 0
         version = 1
@@ -213,6 +232,13 @@ class OnlineDriver:
                 "online_auc": auc0,
                 "frozen_auc": auc0,
                 "candidate_auc": auc0,
+                "online_auc_by_task": dict(auc0_by_task),
+                "candidate_auc_by_task": dict(auc0_by_task),
+                "canary_skipped_tasks": sorted(
+                    name
+                    for name, value in auc0_by_task.items()
+                    if math.isnan(value)
+                ),
                 "deployed_version": version,
                 "rolled_out": True,
                 "rolled_back": False,
@@ -224,14 +250,18 @@ class OnlineDriver:
             # Serving quality during window w: the versions that are
             # actually live — deployed (online arm) and v1 (frozen arm).
             staleness = w - deployed_window
-            online_auc = self._eval_auc(deployed_state, eval_w)
-            frozen_auc = self._eval_auc(frozen_state, eval_w)
+            online_auc, online_by_task = self._eval_window(
+                deployed_state, eval_w
+            )
+            frozen_auc, _ = self._eval_window(frozen_state, eval_w)
             self.model.load_state_dict(candidate_state)
 
             # Continue training the candidate on the window's batches.
             loss = self.trainer.train_window(*train_w)
             candidate_state = self.model.state_dict()
-            candidate_auc = self.trainer.evaluate(*eval_w).auc
+            cand_result = self.trainer.evaluate(*eval_w, single_class="nan")
+            candidate_auc = float(cand_result.auc)
+            cand_by_task = self._auc_by_task(cand_result)
             touched = delta_touched_rows(train_w[1], num_tables)
 
             # Emit the window's checkpoint: delta, or compaction.
@@ -260,17 +290,33 @@ class OnlineDriver:
                 {"path": path, "kind": kind, "nbytes": checkpoint_nbytes(path)}
             )
 
-            # Canary gate: deploy unless the candidate regresses past
-            # the threshold vs. what is already serving.
-            regression = online_auc - candidate_auc
-            rolled_out = regression <= self.canary_threshold
+            # Canary gate: deploy unless ANY gated task's candidate
+            # regresses past the threshold vs. what is already serving.
+            # A task whose canary AUC is NaN on either side (single-
+            # class window, empty gated subset) cannot be gated — it is
+            # recorded as a typed skip and the remaining tasks decide.
+            regression_by_task: Dict[str, float] = {}
+            skipped_tasks: List[str] = []
+            for name, cand in cand_by_task.items():
+                live = online_by_task.get(name, float("nan"))
+                if math.isnan(cand) or math.isnan(live):
+                    skipped_tasks.append(name)
+                    continue
+                regression_by_task[name] = live - cand
+            rolled_out = all(
+                r <= self.canary_threshold
+                for r in regression_by_task.values()
+            )
             rolled_back = not rolled_out
+            regression = online_auc - candidate_auc
             rollout = {
                 "deploy_window": w + 1,  # swaps at the w→w+1 boundary
                 "version": version + 1,
                 "candidate_auc": candidate_auc,
                 "deployed_auc": online_auc,
                 "regression": regression,
+                "regression_by_task": dict(regression_by_task),
+                "canary_skipped_tasks": sorted(skipped_tasks),
                 "rolled_back": rolled_back,
                 "checkpoint": path,
                 "warm_rows": stacked_touched_ids(
@@ -298,6 +344,9 @@ class OnlineDriver:
                     "online_auc": online_auc,
                     "frozen_auc": frozen_auc,
                     "candidate_auc": candidate_auc,
+                    "online_auc_by_task": dict(online_by_task),
+                    "candidate_auc_by_task": dict(cand_by_task),
+                    "canary_skipped_tasks": sorted(skipped_tasks),
                     "deployed_version": version,
                     "rolled_out": rolled_out,
                     "rolled_back": rolled_back,

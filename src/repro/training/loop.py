@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.data.loader import BatchIterator
 from repro.nn.embedding import SPARSE_GRAD_MODES, set_sparse_grad_mode
-from repro.nn.loss import BCEWithLogitsLoss
+from repro.nn.loss import BCEWithLogitsLoss, MultiLoss
 from repro.nn.optim import (
     Adagrad,
     Adam,
@@ -88,17 +88,66 @@ class TrainConfig:
 
 @dataclass
 class EvalResult:
-    """Evaluation metrics on a held-out set."""
+    """Evaluation metrics on a held-out set.
+
+    ``auc_skipped`` flags a window where AUC (and NE) were undefined —
+    only one class present — and the caller asked for a typed skip
+    (NaN) instead of an exception.
+    """
 
     auc: float
     log_loss: float
     normalized_entropy: float
     num_samples: int
+    auc_skipped: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"AUC={self.auc:.4f} LogLoss={self.log_loss:.4f} "
             f"NE={self.normalized_entropy:.4f} (n={self.num_samples})"
+        )
+
+
+@dataclass
+class MultiTaskEvalResult:
+    """Per-task evaluation metrics for a multi-task model.
+
+    ``by_task`` maps task name to its :class:`EvalResult`; gated tasks
+    (CVR) are scored only on the rows where the gate fired.  The
+    scalar properties delegate to the primary task so every consumer
+    written against :class:`EvalResult` (the online driver, artifact
+    summaries) keeps working unchanged.
+    """
+
+    by_task: Dict[str, EvalResult]
+    primary: str
+
+    @property
+    def auc(self) -> float:
+        return self.by_task[self.primary].auc
+
+    @property
+    def log_loss(self) -> float:
+        return self.by_task[self.primary].log_loss
+
+    @property
+    def normalized_entropy(self) -> float:
+        return self.by_task[self.primary].normalized_entropy
+
+    @property
+    def num_samples(self) -> int:
+        return self.by_task[self.primary].num_samples
+
+    @property
+    def auc_skipped(self) -> bool:
+        return self.by_task[self.primary].auc_skipped
+
+    def task_auc(self, name: str) -> float:
+        return self.by_task[name].auc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " | ".join(
+            f"{name}: {res}" for name, res in self.by_task.items()
         )
 
 
@@ -136,7 +185,26 @@ class Trainer:
             if config.warmup_steps > 0
             else None
         )
-        self.loss_module = BCEWithLogitsLoss()
+        # Multi-task models announce their task list; everything else
+        # trains the original single-logit CTR path, byte-untouched.
+        tasks = getattr(model, "tasks", None)
+        self.tasks: Optional[tuple] = tuple(tasks) if tasks is not None else None
+        self.task_gates: Dict[int, int] = dict(
+            getattr(model, "task_gates", None) or {}
+        )
+        if self.tasks is not None:
+            self.loss_module = MultiLoss(
+                len(self.tasks),
+                weights=getattr(model, "task_weights", None),
+                gates=self.task_gates,
+                names=self.tasks,
+            )
+            self.task_loss_history: Dict[str, List[float]] = {
+                t: [] for t in self.tasks
+            }
+        else:
+            self.loss_module = BCEWithLogitsLoss()
+            self.task_loss_history = {}
         self.global_step = 0
         self.loss_history: List[float] = []
         #: Epochs fully completed (the next epoch :meth:`fit` runs).
@@ -166,6 +234,9 @@ class Trainer:
         self.sparse_opt.step()
         self.global_step += 1
         self.loss_history.append(loss)
+        if self.tasks is not None:
+            for name, task_loss in zip(self.tasks, self.loss_module.task_losses):
+                self.task_loss_history[name].append(task_loss)
         return loss
 
     def _run_epoch(
@@ -273,6 +344,13 @@ class Trainer:
             "epoch_batch_losses": [
                 float(x) for x in self._epoch_batch_losses
             ],
+            # Per-task loss history ({} on single-task trainers).  Not
+            # in the required-field set so pre-multi-task checkpoints
+            # keep loading.
+            "task_loss_history": {
+                name: [float(x) for x in losses]
+                for name, losses in self.task_loss_history.items()
+            },
             "iterator": iterator,
             "dense_opt": self.dense_opt.state_dict(),
             "sparse_opt": self.sparse_opt.state_dict(),
@@ -296,6 +374,13 @@ class Trainer:
         self._epoch_batch_losses = [
             float(x) for x in state["epoch_batch_losses"]
         ]
+        self.task_loss_history = {
+            str(name): [float(x) for x in losses]
+            for name, losses in state.get("task_loss_history", {}).items()
+        }
+        if self.tasks is not None:
+            for name in self.tasks:
+                self.task_loss_history.setdefault(name, [])
         self._epoch_iterator = None
         self._pending_iterator_state = copy.deepcopy(state["iterator"])
 
@@ -340,22 +425,83 @@ class Trainer:
         ids: np.ndarray,
         labels: np.ndarray,
         batch_size: int = 4096,
-    ) -> EvalResult:
-        """Metrics on held-out data (batched to bound memory)."""
+        single_class: str = "raise",
+    ) -> "EvalResult | MultiTaskEvalResult":
+        """Metrics on held-out data (batched to bound memory).
+
+        ``single_class`` is forwarded to :func:`~repro.training.metrics.auc`
+        for ungated tasks; gated tasks (CVR on clicks) always use the
+        NaN typed-skip policy because their scored subset's class
+        balance is data-dependent and not under the caller's control.
+        Multi-task models return a :class:`MultiTaskEvalResult`.
+        """
         if len(labels) == 0:
             raise ValueError(
                 "cannot evaluate on an empty eval set; check the "
                 "eval_fraction / split producing these arrays"
             )
-        # Preallocate and fill in place (no per-batch list + concat copy).
-        logits = np.empty(len(labels))
+        if self.tasks is None:
+            # Preallocate and fill in place (no per-batch list + concat
+            # copy).
+            logits = np.empty(len(labels))
+            for i in range(0, len(labels), batch_size):
+                logits[i : i + batch_size] = self.model(
+                    dense[i : i + batch_size], ids[i : i + batch_size]
+                )
+            return self._metrics(labels, logits, single_class)
+        labels = np.asarray(labels, dtype=np.float64)
+        if labels.ndim == 1:
+            labels = labels[:, None]
+        num_tasks = len(self.tasks)
+        if labels.shape[1] != num_tasks:
+            raise ValueError(
+                f"expected (n, {num_tasks}) labels for tasks {self.tasks}, "
+                f"got {labels.shape}"
+            )
+        logits = np.empty((len(labels), num_tasks))
         for i in range(0, len(labels), batch_size):
             logits[i : i + batch_size] = self.model(
                 dense[i : i + batch_size], ids[i : i + batch_size]
             )
+        by_task: Dict[str, EvalResult] = {}
+        for t, name in enumerate(self.tasks):
+            gate = self.task_gates.get(t)
+            if gate is None:
+                task_labels, task_logits = labels[:, t], logits[:, t]
+                policy = single_class
+            else:
+                mask = labels[:, gate] > 0.5
+                task_labels, task_logits = labels[mask, t], logits[mask, t]
+                policy = "nan"
+            if len(task_labels) == 0:
+                by_task[name] = EvalResult(
+                    auc=float("nan"),
+                    log_loss=float("nan"),
+                    normalized_entropy=float("nan"),
+                    num_samples=0,
+                    auc_skipped=True,
+                )
+                continue
+            by_task[name] = self._metrics(task_labels, task_logits, policy)
+        return MultiTaskEvalResult(by_task=by_task, primary=self.tasks[0])
+
+    @staticmethod
+    def _metrics(
+        labels: np.ndarray, logits: np.ndarray, single_class: str
+    ) -> EvalResult:
+        auc_value = auc(labels, logits, single_class=single_class)
+        skipped = bool(np.isnan(auc_value))
+        try:
+            ne = normalized_entropy(labels, logits)
+        except ValueError:
+            # Single-class window: NE's base-rate entropy is zero.
+            if single_class == "raise":
+                raise
+            ne = float("nan")
         return EvalResult(
-            auc=auc(labels, logits),
+            auc=auc_value,
             log_loss=log_loss(labels, logits),
-            normalized_entropy=normalized_entropy(labels, logits),
+            normalized_entropy=ne,
             num_samples=len(labels),
+            auc_skipped=skipped,
         )

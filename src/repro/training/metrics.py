@@ -7,14 +7,23 @@ import numpy as np
 from repro.nn.functional import bce_with_logits, sigmoid
 
 
-def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+def auc(
+    labels: np.ndarray, scores: np.ndarray, *, single_class: str = "raise"
+) -> float:
     """Exact ROC-AUC via the rank-statistic (Mann-Whitney) formulation.
 
     Handles ties by midranks.  O(n log n); no sklearn dependency.
 
+    ``single_class`` controls the degenerate case where only one class
+    is present (small canary windows, gated tasks): ``"raise"`` (the
+    default) raises ``ValueError``; ``"nan"`` returns NaN so callers
+    can record a typed skip instead of crashing mid-stream.
+
     >>> auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.4, 0.35, 0.8]))
     0.75
     """
+    if single_class not in ("raise", "nan"):
+        raise ValueError(f"single_class must be 'raise' or 'nan', got {single_class!r}")
     labels = np.asarray(labels, dtype=np.float64).reshape(-1)
     scores = np.asarray(scores, dtype=np.float64).reshape(-1)
     if labels.shape != scores.shape:
@@ -25,6 +34,8 @@ def auc(labels: np.ndarray, scores: np.ndarray) -> float:
     n_pos = int(pos.sum())
     n_neg = labels.size - n_pos
     if n_pos == 0 or n_neg == 0:
+        if single_class == "nan":
+            return float("nan")
         raise ValueError("AUC undefined: need both classes present")
     order = np.argsort(scores, kind="mergesort")
     ranks = np.empty(labels.size, dtype=np.float64)
@@ -67,10 +78,16 @@ def normalized_entropy(labels: np.ndarray, logits: np.ndarray) -> float:
 
 
 def calibration(labels: np.ndarray, logits: np.ndarray) -> float:
-    """Mean predicted CTR / empirical CTR (1.0 = perfectly calibrated)."""
+    """Mean predicted CTR / empirical CTR (1.0 = perfectly calibrated).
+
+    Degenerate windows raise symmetrically with
+    :func:`normalized_entropy`: an all-positive window would otherwise
+    return a silently misleading ratio (predictions can never average
+    to 1.0 through a sigmoid), so both extremes are rejected.
+    """
     labels = np.asarray(labels, dtype=np.float64).reshape(-1)
     preds = sigmoid(np.asarray(logits, dtype=np.float64).reshape(-1))
     actual = labels.mean()
-    if actual == 0:
-        raise ValueError("calibration undefined with no positives")
+    if actual <= 0.0 or actual >= 1.0:
+        raise ValueError(f"base rate {actual} degenerate; calibration undefined")
     return float(preds.mean() / actual)

@@ -19,6 +19,7 @@ import pytest
 from repro.analysis import SpecAnalysisError, analyze_spec, registered_checks
 from repro.api import Session, SpecError, presets
 from repro.api.spec import (
+    ABSpec,
     AutoscaleSpec,
     CheckpointSpec,
     ClusterSpec,
@@ -89,6 +90,7 @@ class TestPropertyEveryRealSpecValidates:
             checkpointing,
             fault_tolerance,
             model_freshness,
+            multi_task_ab,
             serving,
             serving_fleet,
             tiered_serving,
@@ -101,6 +103,7 @@ class TestPropertyEveryRealSpecValidates:
             checkpointing,
             fault_tolerance,
             model_freshness,
+            multi_task_ab,
         ):
             for arm, spec in mod.experiment_specs(fast=fast).items():
                 bad = error_codes(spec)
@@ -111,6 +114,7 @@ class TestPropertyEveryRealSpecValidates:
             checkpointing,
             fault_tolerance,
             model_freshness,
+            multi_task_ab,
             serving,
             serving_fleet,
             tiered_serving,
@@ -123,6 +127,7 @@ class TestPropertyEveryRealSpecValidates:
             checkpointing,
             fault_tolerance,
             model_freshness,
+            multi_task_ab,
         ):
             for spec in mod.experiment_specs().values():
                 diags = Session(spec).analyze()
@@ -402,6 +407,48 @@ class TestNegativeSeededBrokenSpecs:
         spec = self._online_spec(canary_threshold=-0.01)
         assert error_codes(spec) == ["canary-threshold-invalid"]
 
+    def _mt_model(self, **overrides):
+        fields = dict(
+            variant="flat", embedding_dim=8, bottom_mlp=(16,),
+            top_mlp=(16,), tasks=("ctr", "cvr"), head="shared_bottom",
+            head_mlp=(8,),
+        )
+        fields.update(overrides)
+        return ModelSpec(**fields)
+
+    def test_cvr_without_ctr(self):
+        spec = tiny_quality_spec(
+            model=ModelSpec(variant="flat", embedding_dim=8,
+                            bottom_mlp=(16,), top_mlp=(16,),
+                            tasks=("cvr",)),
+        )
+        assert error_codes(spec) == ["cvr-without-ctr"]
+
+    def test_task_weight_degenerate(self):
+        zero = tiny_quality_spec(
+            model=self._mt_model(task_weights=(1.0, 0.0)),
+        )
+        assert error_codes(zero) == ["task-weight-degenerate"]
+        negative = tiny_quality_spec(
+            model=self._mt_model(task_weights=(1.0, -0.5)),
+        )
+        assert error_codes(negative) == ["task-weight-degenerate"]
+        # Positive weights of any magnitude are fine.
+        ok = tiny_quality_spec(model=self._mt_model(task_weights=(1.0, 0.2)))
+        assert error_codes(ok) == []
+
+    def test_ab_arms_identical(self):
+        spec = tiny_quality_spec(
+            model=self._mt_model(),
+            ab=ABSpec(seeds=(0, 1)),
+        )
+        assert error_codes(spec) == ["ab-arms-identical"]
+        # Any resolved difference between the arms clears the code.
+        fixed = spec.replace(
+            ab=ABSpec(seeds=(0, 1), model_b=self._mt_model(head="dbmtl"))
+        )
+        assert error_codes(fixed) == []
+
     def test_invalid_dict_input_maps_to_spec_invalid(self):
         diags = analyze_spec({"serve": {"qps": -5.0}})
         assert [d.code for d in diags] == ["spec-invalid"]
@@ -430,6 +477,9 @@ class TestNegativeSeededBrokenSpecs:
             "delta-without-base",
             "rollout-exceeds-replicas",
             "canary-threshold-invalid",
+            "cvr-without-ctr",
+            "task-weight-degenerate",
+            "ab-arms-identical",
         } <= names
 
 

@@ -43,13 +43,14 @@ ALL_IDS = {
     "checkpointing",
     "fault_tolerance",
     "model_freshness",
+    "multi_task_ab",
 }
 
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         ids = {exp_id for exp_id, _ in list_experiments()}
-        assert len(ids) == 24
+        assert len(ids) == 25
         assert ids == ALL_IDS
 
     def test_registry_lazy_imports_drivers(self):
@@ -148,6 +149,7 @@ class TestLightExperiments:
             "e2e",
             "serving",
             "serving_fleet",
+            "multi_task_ab",
         ],
     )
     def test_runs_and_produces_body(self, exp_id):
@@ -184,6 +186,16 @@ class TestLightExperiments:
             "disaggregated"
         ]["cache"]["hit_rate"]
         assert hit("churn") < hit("static")
+
+    def test_multi_task_ab_headline(self):
+        """Acceptance: the DBMTL CVR AUC delta's CI excludes zero at
+        the driver's default seeds, while CTR stays matched."""
+        result = get_experiment("multi_task_ab")(fast=True)
+        cvr = result.data["cvr_auc_delta"]
+        assert cvr["excludes_zero"] is True
+        assert cvr["mean_delta"] > 0
+        assert result.data["ctr_auc_delta"]["excludes_zero"] is False
+        assert result.data["ab"]["label_b"] == "dbmtl"
 
     def test_figure10_headline(self):
         result = get_experiment("figure10")(fast=True)
